@@ -1,0 +1,102 @@
+// complexity - Theorem 3: one schedule() call of the threaded scheduler is
+// O(|V|) for fixed K, versus the naive Definition-5 selector's quadratic
+// speculative evaluation. Two google-benchmark families:
+//
+//   BM_ScheduleAll/<V>      full threaded scheduling of a V-vertex DAG
+//                           (expect ~quadratic total = linear per op)
+//   BM_SelectFast/<V>       one select() on a V-vertex scheduled state
+//   BM_SelectNaive/<V>      one select_naive() on the same state
+//
+// The per-op linear claim shows as BM_SelectFast growing linearly in V
+// while BM_SelectNaive grows ~quadratically (each of O(V) positions costs
+// a full O(V) relabel).
+#include <benchmark/benchmark.h>
+
+#include "core/threaded_graph.h"
+#include "graph/generators.h"
+#include "graph/topo.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+using sg::vertex_id;
+using softsched::rng;
+
+namespace {
+
+constexpr int k_threads = 4;
+
+sg::precedence_graph make_workload(int vertices) {
+  rng rand(0x5eed + static_cast<std::uint64_t>(vertices));
+  sg::layered_params params;
+  params.width = 8;
+  params.layers = vertices / params.width;
+  params.edge_prob = 0.25;
+  return sg::layered_random(params, rand);
+}
+
+/// Graph plus one extra *unconstrained* vertex (no dependences): every
+/// insertion slot is legal for it, so the naive selector must really
+/// speculate at every position - the worst case Theorem 3 is up against.
+struct probe_workload {
+  sg::precedence_graph graph;
+  vertex_id probe;
+};
+
+probe_workload make_probe_workload(int vertices) {
+  probe_workload w{make_workload(vertices - 1), vertex_id()};
+  w.probe = w.graph.add_vertex(1, "probe");
+  return w;
+}
+
+/// State with everything but the probe scheduled.
+sc::threaded_graph full_state(const probe_workload& w) {
+  sc::threaded_graph state(w.graph, k_threads);
+  for (const vertex_id v : sg::topological_order(w.graph))
+    if (v != w.probe) state.schedule(v);
+  return state;
+}
+
+void BM_ScheduleAll(benchmark::State& bench) {
+  const int vertices = static_cast<int>(bench.range(0));
+  const sg::precedence_graph g = make_workload(vertices);
+  const std::vector<vertex_id> order = sg::topological_order(g);
+  for (auto _ : bench) {
+    sc::threaded_graph state(g, k_threads);
+    state.schedule_all(order);
+    benchmark::DoNotOptimize(state.scheduled_count());
+  }
+  bench.SetComplexityN(vertices);
+  // Seconds per scheduled operation (Theorem 3: grows linearly with V).
+  bench.counters["per_op"] = benchmark::Counter(
+      static_cast<double>(vertices),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
+void BM_SelectFast(benchmark::State& bench) {
+  const int vertices = static_cast<int>(bench.range(0));
+  const probe_workload w = make_probe_workload(vertices);
+  sc::threaded_graph state = full_state(w);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(state.select(w.probe));
+  }
+  bench.SetComplexityN(vertices);
+}
+
+void BM_SelectNaive(benchmark::State& bench) {
+  const int vertices = static_cast<int>(bench.range(0));
+  const probe_workload w = make_probe_workload(vertices);
+  sc::threaded_graph state = full_state(w);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(state.select_naive(w.probe));
+  }
+  bench.SetComplexityN(vertices);
+}
+
+} // namespace
+
+BENCHMARK(BM_ScheduleAll)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_SelectFast)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_SelectNaive)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// fig3_table - reproduces the paper's Figure 3: schedule length (control
+// states) of the HAL, AR, EF and FIR benchmarks under three resource
+// constraints, for the threaded scheduler driven by meta schedules 1-4 and
+// for the traditional list scheduler.
+//
+// The paper's own numbers are printed alongside for comparison. Absolute
+// values can differ by a cycle or two because the original UCI benchmark
+// netlists are reconstructions here (DESIGN.md section 2); the reproduction
+// target is the *shape*: threaded scheduling matching list scheduling
+// across meta schedules and constraints.
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "hard/list_scheduler.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/table.h"
+
+namespace si = softsched::ir;
+namespace sc = softsched::core;
+namespace sm = softsched::meta;
+namespace sh = softsched::hard;
+
+namespace {
+
+// Figure 3 as printed in the paper: {benchmark, algorithm} -> three lengths.
+const std::map<std::string, std::vector<int>> paper_reference = {
+    {"HAL/meta sched1", {8, 6, 14}}, {"HAL/meta sched2", {8, 6, 14}},
+    {"HAL/meta sched3", {8, 6, 13}}, {"HAL/meta sched4", {8, 6, 13}},
+    {"HAL/list sched", {8, 6, 13}},  {"AR/meta sched1", {19, 11, 34}},
+    {"AR/meta sched2", {19, 11, 34}}, {"AR/meta sched3", {19, 11, 34}},
+    {"AR/meta sched4", {19, 11, 34}}, {"AR/list sched", {19, 11, 34}},
+    {"EF/meta sched1", {19, 17, 24}}, {"EF/meta sched2", {19, 17, 24}},
+    {"EF/meta sched3", {19, 17, 24}}, {"EF/meta sched4", {19, 17, 24}},
+    {"EF/list sched", {19, 17, 24}},  {"FIR/meta sched1", {11, 7, 19}},
+    {"FIR/meta sched2", {11, 7, 19}}, {"FIR/meta sched3", {11, 7, 19}},
+    {"FIR/meta sched4", {11, 7, 19}}, {"FIR/list sched", {11, 7, 19}},
+};
+
+long long threaded_length(const si::dfg& d, const si::resource_set& rs,
+                          sm::meta_kind kind) {
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), kind));
+  return state.diameter();
+}
+
+std::string paper_cell(const std::string& key, int column) {
+  const auto it = paper_reference.find(key);
+  if (it == paper_reference.end()) return "-";
+  return std::to_string(it->second[static_cast<std::size_t>(column)]);
+}
+
+} // namespace
+
+int main() {
+  const si::resource_library lib;
+  const std::vector<si::dfg> benchmarks = si::figure3_benchmarks(lib);
+
+  softsched::table tbl;
+  std::vector<std::string> header = {"BM", "Sched. Alg."};
+  for (int c = 0; c < si::figure3_constraint_count; ++c) {
+    header.push_back(si::figure3_constraint(c).label());
+    header.push_back("paper");
+  }
+  tbl.set_header(header);
+
+  for (const si::dfg& d : benchmarks) {
+    // Benchmark name maps FIR8 -> FIR for the paper row keys.
+    const std::string bm = d.name() == "FIR8" ? "FIR" : d.name();
+    for (const sm::meta_kind kind : sm::figure3_meta_kinds) {
+      std::vector<std::string> row = {bm, std::string(sm::meta_name(kind))};
+      for (int c = 0; c < si::figure3_constraint_count; ++c) {
+        const si::resource_set rs = si::figure3_constraint(c);
+        row.push_back(std::to_string(threaded_length(d, rs, kind)));
+        row.push_back(paper_cell(bm + "/" + std::string(sm::meta_name(kind)), c));
+      }
+      tbl.add_row(row);
+    }
+    std::vector<std::string> row = {bm, "list sched"};
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const si::resource_set rs = si::figure3_constraint(c);
+      row.push_back(std::to_string(sh::list_schedule(d, rs).makespan));
+      row.push_back(paper_cell(bm + "/list sched", c));
+    }
+    tbl.add_row(row);
+    tbl.add_separator();
+  }
+
+  std::cout << "Figure 3: scheduling results of benchmarks under resource constraints\n"
+            << "(measured | paper-reported; lengths in control states)\n\n";
+  tbl.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// k_sweep - resource sweep: schedule length vs. unit count for every
+// benchmark, threaded scheduler (meta 4) against the list scheduler. The
+// reproduction target is the shape: both converge to the critical path as
+// units grow, and track each other at every point.
+#include <iostream>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "graph/distances.h"
+#include "hard/list_scheduler.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/table.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+
+int main() {
+  const si::resource_library lib;
+  std::cout << "Latency vs. unit count (K ALUs + K multipliers), threaded\n"
+            << "(meta sched4) vs. list; cp = dependence-only lower bound\n\n";
+  softsched::table tbl;
+  tbl.set_header({"BM", "cp", "K", "threaded", "list"});
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    const long long cp = sg::compute_distances(d.graph()).diameter;
+    for (int k = 1; k <= 6; ++k) {
+      const si::resource_set rs{k, k, 1};
+      sc::threaded_graph state = sc::make_hls_state(d, rs);
+      state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::list_priority));
+      tbl.add_row({d.name(), softsched::cell(cp), softsched::cell(k),
+                   softsched::cell(state.diameter()),
+                   softsched::cell(sh::list_schedule(d, rs).makespan)});
+    }
+    tbl.add_separator();
+  }
+  tbl.print(std::cout);
+  return 0;
+}

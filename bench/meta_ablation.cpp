@@ -1,0 +1,68 @@
+// meta_ablation - Section 5's observation quantified: "in practice, many
+// meta schedules can lead to results comparable to the traditional list
+// scheduler". For each benchmark we run the four deterministic meta
+// schedules plus a population of random permutations and report the
+// distribution (min / median / max) of threaded schedule lengths against
+// the list-scheduler reference.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "hard/list_scheduler.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+using softsched::rng;
+
+namespace {
+
+long long run_order(const si::dfg& d, const si::resource_set& rs,
+                    const std::vector<softsched::graph::vertex_id>& order) {
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(order);
+  return state.diameter();
+}
+
+} // namespace
+
+int main() {
+  const si::resource_library lib;
+  const si::resource_set rs = si::figure3_constraint(0);
+  constexpr int random_samples = 50;
+
+  std::cout << "Meta-schedule sensitivity (resource set " << rs.label() << ", "
+            << random_samples << " random orders per benchmark)\n\n";
+  softsched::table tbl;
+  tbl.set_header({"BM", "list", "meta1", "meta2", "meta3", "meta4", "rand min",
+                  "rand med", "rand max"});
+
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    std::vector<std::string> row{d.name()};
+    row.push_back(softsched::cell(sh::list_schedule(d, rs).makespan));
+    for (const sm::meta_kind kind : sm::figure3_meta_kinds)
+      row.push_back(softsched::cell(run_order(d, rs, sm::meta_schedule(d.graph(), kind))));
+
+    rng rand(0xab1e + d.op_count());
+    std::vector<long long> samples;
+    for (int i = 0; i < random_samples; ++i)
+      samples.push_back(run_order(d, rs, sm::random_meta_schedule(d.graph(), rand)));
+    std::sort(samples.begin(), samples.end());
+    row.push_back(softsched::cell(samples.front()));
+    row.push_back(softsched::cell(samples[samples.size() / 2]));
+    row.push_back(softsched::cell(samples.back()));
+    tbl.add_row(row);
+  }
+  tbl.print(std::cout);
+  std::cout << "\nInterpretation: informed meta orders track the list scheduler;\n"
+               "even random permutations stay correct (soft scheduling is\n"
+               "order-independent for correctness, order-sensitive for quality).\n";
+  return 0;
+}

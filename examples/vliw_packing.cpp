@@ -1,0 +1,80 @@
+// vliw_packing - the paper's Section 1 points out that soft scheduling
+// also targets VLIW code generation. This example uses threads as VLIW
+// *issue slots*: scheduling a basic block onto a 2-ALU + 1-MUL machine,
+// then reading the packed instruction words straight off the extracted
+// schedule (slot = thread = issue lane).
+//
+// Build & run:  ./build/examples/vliw_packing
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "hard/extract.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "refine/refinement.h"
+
+namespace si = softsched::ir;
+namespace sc = softsched::core;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+using softsched::graph::vertex_id;
+
+int main() {
+  const si::resource_library library;
+  // The basic block: an IIR biquad cascade - a typical DSP inner loop body.
+  si::dfg block = si::make_iir_cascade(library, 2);
+  std::cout << "basic block: " << block.op_count() << " operations\n";
+
+  // The machine: 2 ALU lanes + 1 multiplier lane (+ 1 load/store port).
+  const si::resource_set machine{2, 1, 1};
+  sc::threaded_graph state = sc::make_hls_state(block, machine);
+  state.schedule_all(sm::meta_schedule(block.graph(), sm::meta_kind::list_priority));
+
+  const sh::schedule s = sh::extract_schedule(state);
+  std::cout << "packed into " << s.makespan << " VLIW words ("
+            << block.op_count() << " ops over " << state.thread_count()
+            << " lanes)\n\n";
+
+  // Emit the instruction words: rows = cycles, columns = lanes. A
+  // multi-cycle op occupies its lane ("|" continuation) until done.
+  std::map<long long, std::vector<std::string>> words;
+  for (long long c = 0; c < s.makespan; ++c)
+    words[c].assign(static_cast<std::size_t>(state.thread_count()), "nop");
+  for (const vertex_id v : block.graph().vertices()) {
+    const auto lane = static_cast<std::size_t>(s.unit[v.value()]);
+    words[s.start[v.value()]][lane] = std::string(block.graph().name(v));
+    for (int extra = 1; extra < block.graph().delay(v); ++extra)
+      words[s.start[v.value()] + extra][lane] = "|";
+  }
+  std::cout << "cycle |";
+  for (int k = 0; k < state.thread_count(); ++k) {
+    const auto cls = static_cast<si::resource_class>(state.thread_tag(k));
+    std::cout << ' ' << (cls == si::resource_class::alu        ? "alu   "
+                         : cls == si::resource_class::multiplier ? "mul   "
+                                                                 : "mem   ");
+  }
+  std::cout << '\n';
+  for (const auto& [cycle, slots] : words) {
+    std::cout << (cycle < 10 ? "    " : "   ") << cycle << " |";
+    for (const std::string& slot : slots) {
+      std::string cell = slot;
+      cell.resize(6, ' ');
+      std::cout << ' ' << cell;
+    }
+    std::cout << '\n';
+  }
+
+  // The soft-scheduling advantage for a VLIW backend: late compiler
+  // passes (e.g. resolving an SSA phi into a move after register
+  // allocation) amend the packing without redoing it.
+  std::cout << "\nECO: register allocator materializes a move on w2_1 -> ff1_1\n";
+  namespace sf = softsched::refine;
+  const auto report = sf::apply_register_move(
+      block, state, si::find_op(block, "w2_1"), si::find_op(block, "ff1_1"));
+  std::cout << "packing grows " << report.diameter_before << " -> "
+            << report.diameter_after << " words (incremental, no repack)\n";
+  return 0;
+}

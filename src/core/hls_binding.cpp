@@ -1,0 +1,40 @@
+#include "core/hls_binding.h"
+
+#include "util/check.h"
+
+namespace softsched::core {
+
+int hls_vertex_tag(const ir::dfg& d, vertex_id v) {
+  if (d.kind(v) == ir::op_kind::wire) return wire_tag_base + static_cast<int>(v.value());
+  return static_cast<int>(d.unit_class(v));
+}
+
+threaded_graph make_hls_state(const ir::dfg& d, const ir::resource_set& resources) {
+  SOFTSCHED_EXPECT(resources.alus >= 0 && resources.multipliers >= 0 &&
+                       resources.memory_ports >= 0,
+                   "resource counts must be non-negative");
+  for (const ir::resource_class cls :
+       {ir::resource_class::alu, ir::resource_class::multiplier,
+        ir::resource_class::memory_port}) {
+    if (d.count_class(cls) > 0 && resources.count(cls) == 0)
+      throw infeasible_error(d.name() + " needs at least one " +
+                             std::string(ir::class_name(cls)) + " unit");
+  }
+  std::vector<int> tags;
+  for (int i = 0; i < resources.alus; ++i)
+    tags.push_back(static_cast<int>(ir::resource_class::alu));
+  for (int i = 0; i < resources.multipliers; ++i)
+    tags.push_back(static_cast<int>(ir::resource_class::multiplier));
+  for (int i = 0; i < resources.memory_ports; ++i)
+    tags.push_back(static_cast<int>(ir::resource_class::memory_port));
+  SOFTSCHED_EXPECT(!tags.empty(), "resource set provides no units at all");
+  const ir::dfg* dp = &d;
+  return threaded_graph(d.graph(), std::move(tags),
+                        [dp](vertex_id v) { return hls_vertex_tag(*dp, v); });
+}
+
+int add_wire_thread(threaded_graph& state, vertex_id wire_vertex) {
+  return state.add_thread(wire_tag_base + static_cast<int>(wire_vertex.value()));
+}
+
+} // namespace softsched::core

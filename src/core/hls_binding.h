@@ -1,0 +1,35 @@
+// hls_binding.h - glue between the HLS IR (dfg + resource_set) and the
+// generic threaded scheduling core: one thread per functional-unit
+// instance, tagged by resource class, so select() only considers
+// compatible units (the paper's relaxed Section 4.1 assumption).
+//
+// Wire-delay pseudo operations are bound to *dedicated* threads: an
+// interconnect segment is not a shared unit, so every wire vertex receives
+// its own uniquely-tagged thread via add_wire_thread().
+#pragma once
+
+#include "core/threaded_graph.h"
+#include "ir/dfg.h"
+
+namespace softsched::core {
+
+/// Tag space: resource classes occupy [0, resource_class_count); dedicated
+/// wire threads use wire_tag_base + vertex id.
+inline constexpr int wire_tag_base = 1 << 16;
+
+/// Compatibility tag of an operation under the HLS binding.
+[[nodiscard]] int hls_vertex_tag(const ir::dfg& d, vertex_id v);
+
+/// Builds the empty threaded state for a DFG under a resource constraint:
+/// `resources.alus` threads tagged ALU, `resources.multipliers` threads
+/// tagged multiplier, `resources.memory_ports` threads tagged memory port.
+/// The dfg must outlive the returned state. Throws infeasible_error if the
+/// DFG needs a class the constraint provides zero units of.
+[[nodiscard]] threaded_graph make_hls_state(const ir::dfg& d,
+                                            const ir::resource_set& resources);
+
+/// Adds the dedicated thread for a wire vertex and returns its index. Must
+/// be called once per wire vertex before scheduling it.
+int add_wire_thread(threaded_graph& state, vertex_id wire_vertex);
+
+} // namespace softsched::core

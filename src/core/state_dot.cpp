@@ -1,0 +1,39 @@
+#include "core/state_dot.h"
+
+#include <map>
+
+namespace softsched::core {
+
+void write_state_dot(std::ostream& os, const threaded_graph& state,
+                     std::string_view graph_name) {
+  const precedence_graph& g = state.source_graph();
+  os << "digraph \"" << graph_name << "\" {\n  rankdir=TB;\n  node [shape=box];\n";
+
+  // Clusters: one per thread, members in thread order.
+  std::map<std::pair<vertex_id, vertex_id>, bool> chain_edge;
+  for (int k = 0; k < state.thread_count(); ++k) {
+    const auto seq = state.thread_sequence(k);
+    os << "  subgraph cluster_thread" << k << " {\n"
+       << "    label=\"thread " << k << " (tag " << state.thread_tag(k) << ")\";\n";
+    for (const vertex_id v : seq) {
+      os << "    v" << v.value() << " [label=\"";
+      if (!g.name(v).empty())
+        os << g.name(v);
+      else
+        os << 'v' << v.value();
+      os << " (" << g.delay(v) << ")\"];\n";
+    }
+    os << "  }\n";
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+      chain_edge[{seq[i], seq[i + 1]}] = true;
+  }
+
+  for (const auto& [from, to] : state.state_edges()) {
+    os << "  v" << from.value() << " -> v" << to.value();
+    if (!chain_edge.count({from, to})) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+} // namespace softsched::core

@@ -1,0 +1,18 @@
+// state_dot.h - Graphviz rendering of a threaded scheduling state: one
+// cluster per thread (chain edges solid), cross edges dashed. The visual
+// counterpart of the paper's Figure 1 (e).
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "core/threaded_graph.h"
+
+namespace softsched::core {
+
+/// Writes the current state of `state` in DOT syntax. Vertex labels come
+/// from the source graph's names; each thread becomes a vertical cluster.
+void write_state_dot(std::ostream& os, const threaded_graph& state,
+                     std::string_view graph_name = "threaded_state");
+
+} // namespace softsched::core

@@ -1,0 +1,635 @@
+#include "core/threaded_graph.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace softsched::core {
+
+namespace {
+constexpr std::int32_t no_node = -1;
+}
+
+threaded_graph::threaded_graph(const precedence_graph& g, int thread_count)
+    : threaded_graph(g, std::vector<int>(static_cast<std::size_t>(thread_count), 0),
+                     [](vertex_id) { return 0; }) {}
+
+threaded_graph::threaded_graph(const precedence_graph& g, std::vector<int> thread_tags,
+                               tag_fn vertex_tag)
+    : g_(&g), vertex_tag_(std::move(vertex_tag)), thread_tags_(std::move(thread_tags)) {
+  SOFTSCHED_EXPECT(!thread_tags_.empty(), "a threaded graph needs at least one thread");
+  SOFTSCHED_EXPECT(static_cast<bool>(vertex_tag_), "vertex tag function must be callable");
+  k_ = static_cast<int>(thread_tags_.size());
+  s_.resize(static_cast<std::size_t>(k_));
+  t_.resize(static_cast<std::size_t>(k_));
+  // Algorithm 1 constructor (lines 14-21): per thread one source sentinel s[k]
+  // linked to one sink sentinel t[k]. Sentinels have zero delay and never
+  // carry cross edges.
+  for (int k = 0; k < k_; ++k) {
+    const auto s = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node{vertex_id::invalid(), k, 0, 0, 0, 0});
+    const auto t = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node{vertex_id::invalid(), k, 0, 1, 0, 0});
+    out_.insert(out_.end(), 2 * static_cast<std::size_t>(k_), no_node);
+    in_.insert(in_.end(), 2 * static_cast<std::size_t>(k_), no_node);
+    out_slot(s, k) = t;
+    in_slot(t, k) = s;
+    s_[static_cast<std::size_t>(k)] = s;
+    t_[static_cast<std::size_t>(k)] = t;
+  }
+}
+
+std::int32_t threaded_graph::node_of(vertex_id v) const {
+  if (!v.valid() || v.value() >= node_index_.size()) return no_node;
+  return node_index_[v.value()];
+}
+
+bool threaded_graph::scheduled(vertex_id v) const { return node_of(v) != no_node; }
+
+int threaded_graph::thread_of(vertex_id v) const {
+  const std::int32_t n = node_of(v);
+  SOFTSCHED_EXPECT(n != no_node, "vertex is not scheduled");
+  return nodes_[static_cast<std::size_t>(n)].thread;
+}
+
+int threaded_graph::thread_tag(int thread) const {
+  SOFTSCHED_EXPECT(thread >= 0 && thread < k_, "thread index out of range");
+  return thread_tags_[static_cast<std::size_t>(thread)];
+}
+
+std::vector<vertex_id> threaded_graph::thread_sequence(int thread) const {
+  SOFTSCHED_EXPECT(thread >= 0 && thread < k_, "thread index out of range");
+  std::vector<vertex_id> seq;
+  for (std::int32_t cur = out_slot(s_[static_cast<std::size_t>(thread)], thread);
+       cur != t_[static_cast<std::size_t>(thread)]; cur = out_slot(cur, thread)) {
+    seq.push_back(nodes_[static_cast<std::size_t>(cur)].gv);
+  }
+  return seq;
+}
+
+int threaded_graph::add_thread(int tag) {
+  const int old_k = k_;
+  const int new_k = k_ + 1;
+  const std::size_t count = nodes_.size();
+  // Re-layout both slot arrays to the wider stride.
+  std::vector<std::int32_t> new_out(count * static_cast<std::size_t>(new_k), no_node);
+  std::vector<std::int32_t> new_in(count * static_cast<std::size_t>(new_k), no_node);
+  for (std::size_t n = 0; n < count; ++n) {
+    for (int k = 0; k < old_k; ++k) {
+      new_out[n * static_cast<std::size_t>(new_k) + static_cast<std::size_t>(k)] =
+          out_[n * static_cast<std::size_t>(old_k) + static_cast<std::size_t>(k)];
+      new_in[n * static_cast<std::size_t>(new_k) + static_cast<std::size_t>(k)] =
+          in_[n * static_cast<std::size_t>(old_k) + static_cast<std::size_t>(k)];
+    }
+  }
+  out_ = std::move(new_out);
+  in_ = std::move(new_in);
+  k_ = new_k;
+  thread_tags_.push_back(tag);
+
+  const int k = new_k - 1;
+  const auto s = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node{vertex_id::invalid(), k, 0, 0, 0, 0});
+  const auto t = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node{vertex_id::invalid(), k, 0, 1, 0, 0});
+  out_.insert(out_.end(), 2 * static_cast<std::size_t>(new_k), no_node);
+  in_.insert(in_.end(), 2 * static_cast<std::size_t>(new_k), no_node);
+  out_slot(s, k) = t;
+  in_slot(t, k) = s;
+  s_.push_back(s);
+  t_.push_back(t);
+  labels_valid_ = false;
+  return k;
+}
+
+void threaded_graph::refresh_closure() {
+  if (!closure_ || closure_revision_ != g_->revision()) {
+    closure_.emplace(*g_); // validates acyclicity of G as a side effect
+    closure_revision_ = g_->revision();
+  }
+}
+
+void threaded_graph::state_topo_order() {
+  const std::size_t count = nodes_.size();
+  scratch_degree_.assign(count, 0);
+  for (std::size_t n = 0; n < count; ++n) {
+    for (int k = 0; k < k_; ++k) {
+      if (in_slot(static_cast<std::int32_t>(n), k) != no_node)
+        ++scratch_degree_[n];
+    }
+  }
+  scratch_topo_.clear();
+  scratch_topo_.reserve(count);
+  for (std::size_t n = 0; n < count; ++n)
+    if (scratch_degree_[n] == 0) scratch_topo_.push_back(static_cast<std::int32_t>(n));
+  for (std::size_t head = 0; head < scratch_topo_.size(); ++head) {
+    const std::int32_t u = scratch_topo_[head];
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t w = out_slot(u, k);
+      if (w != no_node && --scratch_degree_[static_cast<std::size_t>(w)] == 0)
+        scratch_topo_.push_back(w);
+    }
+  }
+  if (scratch_topo_.size() != count)
+    throw graph_error("threaded graph state contains a cycle");
+}
+
+void threaded_graph::label() {
+  if (labels_valid_) return;
+  ++stats_.label_passes;
+  state_topo_order();
+  // forwardLabel (line 44): sdist = max over predecessors + own delay.
+  for (const std::int32_t n : scratch_topo_) {
+    long long best = 0;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t p = in_slot(n, k);
+      if (p != no_node) best = std::max(best, nodes_[static_cast<std::size_t>(p)].sdist);
+    }
+    nodes_[static_cast<std::size_t>(n)].sdist = best + nodes_[static_cast<std::size_t>(n)].delay;
+  }
+  // backwardLabel (line 45).
+  for (auto it = scratch_topo_.rbegin(); it != scratch_topo_.rend(); ++it) {
+    long long best = 0;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t q = out_slot(*it, k);
+      if (q != no_node) best = std::max(best, nodes_[static_cast<std::size_t>(q)].tdist);
+    }
+    nodes_[static_cast<std::size_t>(*it)].tdist = best + nodes_[static_cast<std::size_t>(*it)].delay;
+  }
+  labels_valid_ = true;
+}
+
+void threaded_graph::compute_legality_and_intrinsics(vertex_id v, long long& intrinsic_src,
+                                                     long long& intrinsic_snk) {
+  label();
+  const std::size_t count = nodes_.size();
+  scratch_succ_reach_.assign(count, 0);
+  scratch_pred_reach_.assign(count, 0);
+  intrinsic_src = 0;
+  intrinsic_snk = 0;
+  // Seeds: scheduled transitive predecessors/successors of v in G
+  // (Algorithm 1 lines 53-54 compute the intrinsic distances over exactly
+  // these sets).
+  for (std::size_t n = 0; n < count; ++n) {
+    const vertex_id gv = nodes_[n].gv;
+    if (!gv.valid()) continue;
+    if (closure_->strictly_reaches(gv, v)) {
+      intrinsic_src = std::max(intrinsic_src, nodes_[n].sdist);
+      scratch_pred_reach_[n] = 1;
+    } else if (closure_->strictly_reaches(v, gv)) {
+      intrinsic_snk = std::max(intrinsic_snk, nodes_[n].tdist);
+      scratch_succ_reach_[n] = 1;
+    }
+  }
+  // succ_reach[n]: some scheduled successor of v reaches n in the state.
+  // Forward propagation in state-topological order.
+  for (const std::int32_t n : scratch_topo_) {
+    if (scratch_succ_reach_[static_cast<std::size_t>(n)]) continue;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t p = in_slot(n, k);
+      if (p != no_node && scratch_succ_reach_[static_cast<std::size_t>(p)]) {
+        scratch_succ_reach_[static_cast<std::size_t>(n)] = 1;
+        break;
+      }
+    }
+  }
+  // pred_reach[n]: n reaches some scheduled predecessor of v in the state.
+  for (auto it = scratch_topo_.rbegin(); it != scratch_topo_.rend(); ++it) {
+    if (scratch_pred_reach_[static_cast<std::size_t>(*it)]) continue;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t q = out_slot(*it, k);
+      if (q != no_node && scratch_pred_reach_[static_cast<std::size_t>(q)]) {
+        scratch_pred_reach_[static_cast<std::size_t>(*it)] = 1;
+        break;
+      }
+    }
+  }
+}
+
+insert_position threaded_graph::select(vertex_id v) {
+  g_->require_vertex(v);
+  SOFTSCHED_EXPECT(!scheduled(v), "select: vertex is already scheduled");
+  ++stats_.select_calls;
+  refresh_closure();
+
+  long long intrinsic_src = 0;
+  long long intrinsic_snk = 0;
+  compute_legality_and_intrinsics(v, intrinsic_src, intrinsic_snk);
+
+  const int vtag = vertex_tag_(v);
+  const long long dv = g_->delay(v);
+  insert_position best;
+  long long best_cost = std::numeric_limits<long long>::max();
+  bool any_compatible = false;
+
+  for (int k = 0; k < k_; ++k) {
+    if (thread_tags_[static_cast<std::size_t>(k)] != vtag) continue;
+    any_compatible = true;
+    const std::int32_t tail = t_[static_cast<std::size_t>(k)];
+    for (std::int32_t cur = s_[static_cast<std::size_t>(k)]; cur != tail;
+         cur = out_slot(cur, k)) {
+      // Inserting after a node some scheduled G-successor of v already
+      // reaches would close a cycle; the predicate is monotone along the
+      // thread, so the remaining positions are illegal too.
+      if (scratch_succ_reach_[static_cast<std::size_t>(cur)]) {
+        ++stats_.positions_rejected;
+        break;
+      }
+      const std::int32_t next = out_slot(cur, k);
+      // Symmetric guard: next must not reach a scheduled G-predecessor.
+      if (scratch_pred_reach_[static_cast<std::size_t>(next)]) {
+        ++stats_.positions_rejected;
+        continue;
+      }
+      ++stats_.positions_scanned;
+      // Lemma 5: the distance through v at this position (line 57-59).
+      const long long cost =
+          std::max(nodes_[static_cast<std::size_t>(cur)].sdist, intrinsic_src) + dv +
+          std::max(nodes_[static_cast<std::size_t>(next)].tdist, intrinsic_snk);
+      if (cost < best_cost) {
+        best = insert_position{k, cur, cost};
+        best_cost = cost;
+      }
+    }
+  }
+  if (!any_compatible)
+    throw infeasible_error("no thread is compatible with vertex '" +
+                           std::string(g_->name(v)) + "'");
+  // A legal slot always exists in every compatible thread (DESIGN.md:
+  // the two illegality predicates are monotone in opposite directions and
+  // cannot cover a whole thread without implying a cycle among already
+  // scheduled vertices).
+  SOFTSCHED_EXPECT(best.valid(), "threaded schedule invariant violated: no legal position");
+  return best;
+}
+
+insert_position threaded_graph::select_naive(vertex_id v) const {
+  // Definition 5 evaluated literally: speculatively commit at every legal
+  // position and measure the resulting diameter.
+  threaded_graph base(*this);
+  base.g_->require_vertex(v);
+  SOFTSCHED_EXPECT(!base.scheduled(v), "select_naive: vertex is already scheduled");
+  base.refresh_closure();
+  long long intrinsic_src = 0;
+  long long intrinsic_snk = 0;
+  base.compute_legality_and_intrinsics(v, intrinsic_src, intrinsic_snk);
+
+  const int vtag = base.vertex_tag_(v);
+  insert_position best;
+  long long best_diameter = std::numeric_limits<long long>::max();
+  bool any_compatible = false;
+
+  for (int k = 0; k < base.k_; ++k) {
+    if (base.thread_tags_[static_cast<std::size_t>(k)] != vtag) continue;
+    any_compatible = true;
+    const std::int32_t tail = base.t_[static_cast<std::size_t>(k)];
+    for (std::int32_t cur = base.s_[static_cast<std::size_t>(k)]; cur != tail;
+         cur = base.out_slot(cur, k)) {
+      if (base.scratch_succ_reach_[static_cast<std::size_t>(cur)]) break;
+      const std::int32_t next = base.out_slot(cur, k);
+      if (base.scratch_pred_reach_[static_cast<std::size_t>(next)]) continue;
+      threaded_graph speculative(base);
+      speculative.commit(insert_position{k, cur, 0}, v);
+      const long long diam = speculative.diameter();
+      if (diam < best_diameter) {
+        best = insert_position{k, cur, diam};
+        best_diameter = diam;
+      }
+    }
+  }
+  if (!any_compatible)
+    throw infeasible_error("no thread is compatible with vertex '" +
+                           std::string(base.g_->name(v)) + "'");
+  SOFTSCHED_EXPECT(best.valid(), "select_naive: no legal position");
+  return best;
+}
+
+void threaded_graph::renumber_thread(int k) {
+  int rank = 0;
+  for (std::int32_t cur = s_[static_cast<std::size_t>(k)]; cur != no_node;
+       cur = out_slot(cur, k)) {
+    nodes_[static_cast<std::size_t>(cur)].rank = rank++;
+  }
+}
+
+void threaded_graph::ensure_cross_edge(std::int32_t u, std::int32_t w) {
+  const int j = nodes_[static_cast<std::size_t>(u)].thread;
+  const int k = nodes_[static_cast<std::size_t>(w)].thread;
+  SOFTSCHED_EXPECT(j != k, "cross edges join distinct threads");
+
+  // Figure 2 (a): u already points at-or-before w in thread k; implied.
+  const std::int32_t uo = out_slot(u, k);
+  if (uo != no_node &&
+      nodes_[static_cast<std::size_t>(uo)].rank <= nodes_[static_cast<std::size_t>(w)].rank)
+    return;
+
+  // A later thread-j vertex already precedes w: u <=S wi <=S w; implied.
+  const std::int32_t wi = in_slot(w, j);
+  if (wi != no_node &&
+      nodes_[static_cast<std::size_t>(wi)].rank >= nodes_[static_cast<std::size_t>(u)].rank)
+    return;
+
+  // Figure 2 (c): u points after w; that relation becomes implied through
+  // w's thread chain once u -> w exists, so drop it.
+  if (uo != no_node) {
+    SOFTSCHED_EXPECT(in_slot(uo, j) == u, "slot pairing invariant broken (out)");
+    in_slot(uo, j) = no_node;
+    out_slot(u, k) = no_node;
+  }
+  // Figure 2 (f) mirror: an earlier thread-j vertex pointed at w; implied
+  // through u's thread chain once u -> w exists.
+  if (wi != no_node) {
+    SOFTSCHED_EXPECT(out_slot(wi, k) == w, "slot pairing invariant broken (in)");
+    out_slot(wi, k) = no_node;
+    in_slot(w, j) = no_node;
+  }
+  // Figure 2 (b)/(e): add the edge.
+  ++stats_.cross_edge_updates;
+  out_slot(u, k) = w;
+  in_slot(w, j) = u;
+}
+
+void threaded_graph::commit(const insert_position& pos, vertex_id v) {
+  g_->require_vertex(v);
+  SOFTSCHED_EXPECT(!scheduled(v), "commit: vertex is already scheduled");
+  SOFTSCHED_EXPECT(pos.valid() && pos.thread < k_, "commit: invalid position");
+  SOFTSCHED_EXPECT(thread_tags_[static_cast<std::size_t>(pos.thread)] == vertex_tag_(v),
+                   "commit: thread is not compatible with the vertex");
+  refresh_closure();
+
+  ++stats_.commits;
+  const int k = pos.thread;
+  const std::int32_t after = pos.after;
+  SOFTSCHED_EXPECT(after >= 0 && static_cast<std::size_t>(after) < nodes_.size() &&
+                       nodes_[static_cast<std::size_t>(after)].thread == k &&
+                       out_slot(after, k) != no_node,
+                   "commit: position is not an insertion point of the thread");
+
+  // Create the state node for v.
+  const auto n = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node{v, k, g_->delay(v), 0, 0, 0});
+  out_.insert(out_.end(), static_cast<std::size_t>(k_), no_node);
+  in_.insert(in_.end(), static_cast<std::size_t>(k_), no_node);
+  if (node_index_.size() < g_->vertex_count()) node_index_.resize(g_->vertex_count(), no_node);
+  node_index_[v.value()] = n;
+  ++scheduled_count_;
+
+  // Algorithm 1 lines 26-27: splice into the thread chain.
+  const std::int32_t next = out_slot(after, k);
+  out_slot(after, k) = n;
+  in_slot(n, k) = after;
+  out_slot(n, k) = next;
+  in_slot(next, k) = n;
+  renumber_thread(k);
+
+  // Lines 28-41: re-route cross edges. Only the *latest* scheduled
+  // G-predecessor per thread (and the earliest successor) can carry a
+  // non-implied edge; all other relations follow through that thread's
+  // chain.
+  std::vector<std::int32_t> latest_pred(static_cast<std::size_t>(k_), no_node);
+  std::vector<std::int32_t> earliest_succ(static_cast<std::size_t>(k_), no_node);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const vertex_id gv = nodes_[i].gv;
+    if (!gv.valid() || static_cast<std::int32_t>(i) == n) continue;
+    const auto j = static_cast<std::size_t>(nodes_[i].thread);
+    if (closure_->strictly_reaches(gv, v)) {
+      if (latest_pred[j] == no_node ||
+          nodes_[i].rank > nodes_[static_cast<std::size_t>(latest_pred[j])].rank)
+        latest_pred[j] = static_cast<std::int32_t>(i);
+    } else if (closure_->strictly_reaches(v, gv)) {
+      if (earliest_succ[j] == no_node ||
+          nodes_[i].rank < nodes_[static_cast<std::size_t>(earliest_succ[j])].rank)
+        earliest_succ[j] = static_cast<std::int32_t>(i);
+    }
+  }
+  for (int j = 0; j < k_; ++j) {
+    const std::int32_t p = latest_pred[static_cast<std::size_t>(j)];
+    if (p == no_node) continue;
+    if (j == k) {
+      // Same thread: the chain orders them; legality guaranteed p < v.
+      SOFTSCHED_EXPECT(nodes_[static_cast<std::size_t>(p)].rank <
+                           nodes_[static_cast<std::size_t>(n)].rank,
+                       "commit: illegal position, a predecessor follows the slot");
+    } else {
+      ensure_cross_edge(p, n);
+    }
+  }
+  for (int j = 0; j < k_; ++j) {
+    const std::int32_t q = earliest_succ[static_cast<std::size_t>(j)];
+    if (q == no_node) continue;
+    if (j == k) {
+      SOFTSCHED_EXPECT(nodes_[static_cast<std::size_t>(q)].rank >
+                           nodes_[static_cast<std::size_t>(n)].rank,
+                       "commit: illegal position, a successor precedes the slot");
+    } else {
+      ensure_cross_edge(n, q);
+    }
+  }
+  labels_valid_ = false;
+}
+
+bool threaded_graph::position_legal(vertex_id v, const insert_position& pos) {
+  g_->require_vertex(v);
+  SOFTSCHED_EXPECT(!scheduled(v), "position_legal: vertex is already scheduled");
+  if (!pos.valid() || pos.thread >= k_) return false;
+  if (thread_tags_[static_cast<std::size_t>(pos.thread)] != vertex_tag_(v)) return false;
+  if (pos.after < 0 || static_cast<std::size_t>(pos.after) >= nodes_.size()) return false;
+  if (nodes_[static_cast<std::size_t>(pos.after)].thread != pos.thread) return false;
+  const std::int32_t next = out_slot(pos.after, pos.thread);
+  if (next == no_node) return false; // the sink sentinel is not a position
+  refresh_closure();
+  long long intrinsic_src = 0;
+  long long intrinsic_snk = 0;
+  compute_legality_and_intrinsics(v, intrinsic_src, intrinsic_snk);
+  return !scratch_succ_reach_[static_cast<std::size_t>(pos.after)] &&
+         !scratch_pred_reach_[static_cast<std::size_t>(next)];
+}
+
+insert_position threaded_graph::position_front(int thread) const {
+  SOFTSCHED_EXPECT(thread >= 0 && thread < k_, "thread index out of range");
+  return insert_position{thread, s_[static_cast<std::size_t>(thread)], 0};
+}
+
+insert_position threaded_graph::position_after(vertex_id v) const {
+  const std::int32_t n = node_of(v);
+  SOFTSCHED_EXPECT(n != no_node, "position_after needs a scheduled vertex");
+  return insert_position{nodes_[static_cast<std::size_t>(n)].thread, n, 0};
+}
+
+void threaded_graph::schedule(vertex_id v) {
+  if (scheduled(v)) return; // Definition 3: v already in V_S leaves S unchanged
+  commit(select(v), v);
+}
+
+void threaded_graph::schedule_all(const std::vector<vertex_id>& meta_order) {
+  for (const vertex_id v : meta_order) schedule(v);
+}
+
+long long threaded_graph::diameter() {
+  label();
+  long long best = 0;
+  for (const node& nd : nodes_) best = std::max(best, nd.sdist + nd.tdist - nd.delay);
+  return best;
+}
+
+long long threaded_graph::source_distance(vertex_id v) {
+  const std::int32_t n = node_of(v);
+  SOFTSCHED_EXPECT(n != no_node, "vertex is not scheduled");
+  label();
+  return nodes_[static_cast<std::size_t>(n)].sdist;
+}
+
+long long threaded_graph::sink_distance(vertex_id v) {
+  const std::int32_t n = node_of(v);
+  SOFTSCHED_EXPECT(n != no_node, "vertex is not scheduled");
+  label();
+  return nodes_[static_cast<std::size_t>(n)].tdist;
+}
+
+std::vector<long long> threaded_graph::asap_start_times() {
+  label();
+  std::vector<long long> start(g_->vertex_count(), -1);
+  for (const node& nd : nodes_) {
+    if (!nd.gv.valid()) continue;
+    start[nd.gv.value()] = nd.sdist - nd.delay;
+  }
+  return start;
+}
+
+bool threaded_graph::state_precedes(vertex_id a, vertex_id b) const {
+  const std::int32_t from = node_of(a);
+  const std::int32_t to = node_of(b);
+  SOFTSCHED_EXPECT(from != no_node && to != no_node, "both vertices must be scheduled");
+  if (from == to) return true;
+  std::vector<std::uint8_t> seen(nodes_.size(), 0);
+  std::vector<std::int32_t> queue{from};
+  seen[static_cast<std::size_t>(from)] = 1;
+  while (!queue.empty()) {
+    const std::int32_t u = queue.back();
+    queue.pop_back();
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t w = out_slot(u, k);
+      if (w == no_node || seen[static_cast<std::size_t>(w)]) continue;
+      if (w == to) return true;
+      seen[static_cast<std::size_t>(w)] = 1;
+      queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<vertex_id, vertex_id>> threaded_graph::state_edges() const {
+  std::vector<std::pair<vertex_id, vertex_id>> edges;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].gv.valid()) continue;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t w = out_slot(static_cast<std::int32_t>(i), k);
+      if (w == no_node || !nodes_[static_cast<std::size_t>(w)].gv.valid()) continue;
+      edges.emplace_back(nodes_[i].gv, nodes_[static_cast<std::size_t>(w)].gv);
+    }
+  }
+  return edges;
+}
+
+void threaded_graph::check_invariants() const {
+  const std::size_t count = nodes_.size();
+  // 1. Thread chains: partition, strictly increasing ranks, paired slots.
+  std::vector<std::uint8_t> on_chain(count, 0);
+  std::size_t member_count = 0;
+  for (int k = 0; k < k_; ++k) {
+    std::int32_t prev = s_[static_cast<std::size_t>(k)];
+    if (nodes_[static_cast<std::size_t>(prev)].rank != 0)
+      throw graph_error("invariant: source sentinel rank must be 0");
+    on_chain[static_cast<std::size_t>(prev)] = 1;
+    for (std::int32_t cur = out_slot(prev, k); cur != no_node; cur = out_slot(cur, k)) {
+      const node& nd = nodes_[static_cast<std::size_t>(cur)];
+      if (nd.thread != k) throw graph_error("invariant: chain crosses into another thread");
+      if (in_slot(cur, k) != prev) throw graph_error("invariant: chain slots not paired");
+      if (nd.rank <= nodes_[static_cast<std::size_t>(prev)].rank)
+        throw graph_error("invariant: thread ranks must strictly increase");
+      if (on_chain[static_cast<std::size_t>(cur)])
+        throw graph_error("invariant: vertex appears twice in thread chains");
+      on_chain[static_cast<std::size_t>(cur)] = 1;
+      if (nd.gv.valid()) ++member_count;
+      prev = cur;
+    }
+    if (prev != t_[static_cast<std::size_t>(k)])
+      throw graph_error("invariant: thread chain does not end at the sink sentinel");
+  }
+  for (std::size_t i = 0; i < count; ++i)
+    if (!on_chain[i]) throw graph_error("invariant: node not covered by the thread partition");
+  if (member_count != scheduled_count_)
+    throw graph_error("invariant: scheduled count mismatch");
+
+  // 2. Slot discipline: every out slot k points into thread k, slots are
+  // paired, sentinels carry no cross edges.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<std::int32_t>(i);
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t w = out_slot(u, k);
+      if (w == no_node) continue;
+      if (nodes_[static_cast<std::size_t>(w)].thread != k)
+        throw graph_error("invariant: out slot k must point into thread k");
+      const bool chain_edge = nodes_[i].thread == k;
+      if (!chain_edge && (is_sentinel(u) || is_sentinel(w)))
+        throw graph_error("invariant: sentinels must not carry cross edges");
+      if (in_slot(w, nodes_[i].thread) != u)
+        throw graph_error("invariant: out/in slots must pair up");
+    }
+    for (int j = 0; j < k_; ++j) {
+      const std::int32_t p = in_slot(u, j);
+      if (p == no_node) continue;
+      if (nodes_[static_cast<std::size_t>(p)].thread != j)
+        throw graph_error("invariant: in slot j must come from thread j");
+      if (out_slot(p, nodes_[i].thread) != u)
+        throw graph_error("invariant: in/out slots must pair up");
+    }
+  }
+
+  // 3. Acyclicity (local Kahn; does not touch label caches).
+  {
+    std::vector<int> degree(count, 0);
+    for (std::size_t i = 0; i < count; ++i)
+      for (int k = 0; k < k_; ++k)
+        if (in_slot(static_cast<std::int32_t>(i), k) != no_node) ++degree[i];
+    std::vector<std::int32_t> order;
+    order.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      if (degree[i] == 0) order.push_back(static_cast<std::int32_t>(i));
+    for (std::size_t head = 0; head < order.size(); ++head)
+      for (int k = 0; k < k_; ++k) {
+        const std::int32_t w = out_slot(order[head], k);
+        if (w != no_node && --degree[static_cast<std::size_t>(w)] == 0) order.push_back(w);
+      }
+    if (order.size() != count) throw graph_error("invariant: state graph is cyclic");
+  }
+
+  // 4. Correctness condition (Definition 3): for scheduled p, q with
+  // p <G q the state must order p before q. Forward BFS from every node.
+  graph::transitive_closure closure(*g_);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!nodes_[i].gv.valid()) continue;
+    std::vector<std::uint8_t> seen(count, 0);
+    std::vector<std::int32_t> queue{static_cast<std::int32_t>(i)};
+    seen[i] = 1;
+    while (!queue.empty()) {
+      const std::int32_t u = queue.back();
+      queue.pop_back();
+      for (int k = 0; k < k_; ++k) {
+        const std::int32_t w = out_slot(u, k);
+        if (w != no_node && !seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < count; ++b) {
+      if (!nodes_[b].gv.valid() || b == i) continue;
+      if (closure.strictly_reaches(nodes_[i].gv, nodes_[b].gv) && !seen[b])
+        throw graph_error("invariant: correctness condition violated (p <G q but not p <=S q)");
+    }
+  }
+}
+
+} // namespace softsched::core

@@ -1,0 +1,261 @@
+// threaded_graph.h - the paper's core contribution: the K-threaded
+// scheduling state (Definition 4) together with Algorithm 1's
+// label/select/commit operations.
+//
+// The state is itself a precedence graph whose vertices are the already
+// scheduled operations, partitioned into K totally-ordered *threads* (one
+// per functional unit). Every vertex has at most one incoming and one
+// outgoing edge per thread (Lemma 7): slot out[k] points to the earliest
+// thread-k vertex this vertex must precede, slot in[j] to the latest
+// thread-j vertex that must precede it. Thread-chain edges live in the
+// vertex's own thread slot. All Algorithm 1 costs follow from this bounded
+// degree: one schedule() call is O(K * |V|).
+//
+// Scheduling one operation = select() the best (thread, position) pair -
+// the spot minimizing the resulting critical path (Definition 5, online
+// optimality) - then commit() it, re-routing cross edges by the six rules
+// of the paper's Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/precedence_graph.h"
+#include "graph/reachability.h"
+
+namespace softsched::core {
+
+using graph::precedence_graph;
+using graph::vertex_id;
+
+/// A candidate insertion point produced by select(): splice the new vertex
+/// into `thread` immediately after the state node `after` (which may be the
+/// thread's source sentinel). `cost` is the predicted distance
+/// ||-> v ->|| through the new vertex in the updated state; by Lemmas 4-6
+/// the updated diameter is max(old diameter, cost).
+struct insert_position {
+  int thread = -1;
+  std::int32_t after = -1;
+  long long cost = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return thread >= 0; }
+};
+
+/// Operation counters accumulated by a threaded_graph - the empirical side
+/// of Theorem 3 (positions scanned per select() stays O(|V|); every
+/// counter grows linearly in the schedule length for fixed K).
+struct schedule_stats {
+  std::uint64_t select_calls = 0;
+  std::uint64_t positions_scanned = 0;  ///< candidate slots costed in select()
+  std::uint64_t positions_rejected = 0; ///< slots skipped by the legality guard
+  std::uint64_t commits = 0;
+  std::uint64_t label_passes = 0;       ///< forward+backward relabelings
+  std::uint64_t cross_edge_updates = 0; ///< Figure-2 rule applications
+};
+
+/// The K-threaded scheduling state over a precedence graph G, plus the
+/// threaded-schedule online algorithm (Algorithm 1).
+///
+/// Thread compatibility: every thread carries an integer `tag`; a vertex
+/// may only be scheduled into threads whose tag equals `vertex_tag(v)`.
+/// The default tag function maps every vertex to 0 (the paper's "each
+/// function unit can implement all operations" assumption); the HLS
+/// binding (hls_binding.h) supplies resource-class tags instead.
+///
+/// The referenced graph may *grow* after construction (the refinement
+/// engine inserts spill/wire/move vertices); the transitive-closure cache
+/// refreshes itself via precedence_graph::revision().
+class threaded_graph {
+public:
+  using tag_fn = std::function<int(vertex_id)>;
+
+  /// Empty state with `thread_count` threads of tag 0.
+  threaded_graph(const precedence_graph& g, int thread_count);
+
+  /// Empty state with one thread per entry of `thread_tags`, and the given
+  /// vertex-compatibility tag function.
+  threaded_graph(const precedence_graph& g, std::vector<int> thread_tags,
+                 tag_fn vertex_tag);
+
+  threaded_graph(const threaded_graph&) = default;
+  threaded_graph& operator=(const threaded_graph&) = default;
+  threaded_graph(threaded_graph&&) noexcept = default;
+  threaded_graph& operator=(threaded_graph&&) noexcept = default;
+
+  // -- the online schedule (Definition 3 / Algorithm 1) ----------------
+
+  /// Schedules one operation: select() + commit(). No-op if v is already
+  /// scheduled (Definition 3's incremental condition). Throws
+  /// infeasible_error when no compatible thread exists.
+  void schedule(vertex_id v);
+
+  /// Schedules a whole meta-schedule order.
+  void schedule_all(const std::vector<vertex_id>& meta_order);
+
+  /// Finds the online-optimal legal insertion position for v without
+  /// mutating the state. Throws infeasible_error if v has no compatible
+  /// thread; never fails otherwise (a legal slot always exists - see
+  /// DESIGN.md). O(K * |V|).
+  [[nodiscard]] insert_position select(vertex_id v);
+
+  /// Reference implementation of Definition 5: evaluates every legal
+  /// position by speculatively committing on a copy of the state and
+  /// recomputing the diameter from scratch. Quadratic per call; used by
+  /// the optimality tests and the complexity benchmark.
+  [[nodiscard]] insert_position select_naive(vertex_id v) const;
+
+  /// Splices v into the state at `pos` and re-routes cross edges (Figure 2
+  /// rules). `pos` must come from select()/select_naive() on the current
+  /// state, or from the explicit position helpers below (manual placement
+  /// bypasses online optimality but not correctness: an illegal position
+  /// is rejected or caught by check_invariants).
+  void commit(const insert_position& pos, vertex_id v);
+
+  /// Whether committing `v` at `pos` keeps the state a threaded graph
+  /// (no cycle, thread compatible). This is exactly the guard select()
+  /// applies to every candidate slot; exposed for manual-placement tools
+  /// and the legality tests.
+  [[nodiscard]] bool position_legal(vertex_id v, const insert_position& pos);
+
+  /// Explicit position at the head of a thread (after the source sentinel).
+  [[nodiscard]] insert_position position_front(int thread) const;
+
+  /// Explicit position immediately after a scheduled vertex, inside that
+  /// vertex's thread.
+  [[nodiscard]] insert_position position_after(vertex_id v) const;
+
+  // -- thread management ------------------------------------------------
+
+  [[nodiscard]] int thread_count() const noexcept { return k_; }
+  [[nodiscard]] int thread_tag(int thread) const;
+
+  /// Appends a new empty thread (e.g. a dedicated wire "unit") and returns
+  /// its index. O(K * |V|) re-layout.
+  int add_thread(int tag);
+
+  // -- state queries ------------------------------------------------------
+
+  [[nodiscard]] const precedence_graph& source_graph() const noexcept { return *g_; }
+  [[nodiscard]] bool scheduled(vertex_id v) const;
+  [[nodiscard]] std::size_t scheduled_count() const noexcept { return scheduled_count_; }
+
+  /// Thread that executes v. Throws if v is not scheduled.
+  [[nodiscard]] int thread_of(vertex_id v) const;
+
+  /// Scheduled operations of a thread, in thread order.
+  [[nodiscard]] std::vector<vertex_id> thread_sequence(int thread) const;
+
+  /// ||S||: the critical-path length of the current state (Definition 1's
+  /// diameter). Refreshes labels if needed.
+  [[nodiscard]] long long diameter();
+
+  /// Source distance ||-> v|| / sink distance ||v ->|| of a scheduled
+  /// vertex in the current state.
+  [[nodiscard]] long long source_distance(vertex_id v);
+  [[nodiscard]] long long sink_distance(vertex_id v);
+
+  /// ASAP start cycle of every scheduled vertex in the state: start(v) =
+  /// ||-> v|| - delay(v). Unscheduled vertices get -1. This is the "hard
+  /// decision delayed to the desired stage" - the exact operation -> time
+  /// step mapping (Section 3).
+  [[nodiscard]] std::vector<long long> asap_start_times();
+
+  /// Reachability in the state: a <=S b (reflexive). Both must be
+  /// scheduled. O(K * |V|) breadth-first walk; meant for tests/validation.
+  [[nodiscard]] bool state_precedes(vertex_id a, vertex_id b) const;
+
+  /// All state edges (thread-chain + cross) between scheduled operations,
+  /// as pairs of source-graph vertex ids. Definition 6's "subgraph of
+  /// `this` spanned by V \ s \ t".
+  [[nodiscard]] std::vector<std::pair<vertex_id, vertex_id>> state_edges() const;
+
+  /// Structural self-check of every invariant (thread partition, total
+  /// order per thread, slot pairing, degree bound, acyclicity, correctness
+  /// condition w.r.t. G). Throws graph_error with a description on
+  /// violation. Used heavily by the property tests.
+  void check_invariants() const;
+
+  /// Cumulative operation counters (see schedule_stats).
+  [[nodiscard]] const schedule_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = schedule_stats{}; }
+
+private:
+  struct node {
+    vertex_id gv;         // invalid() for sentinels
+    int thread = -1;
+    int delay = 0;
+    int rank = 0;         // order inside the thread; s = 0, members 1.., t = last
+    long long sdist = 0;  // ||-> n|| in the state
+    long long tdist = 0;  // ||n ->||
+  };
+
+  // Slot accessors into the flattened stride-K adjacency arrays.
+  [[nodiscard]] std::int32_t& out_slot(std::int32_t n, int k) { return out_[static_cast<std::size_t>(n) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(k)]; }
+  [[nodiscard]] std::int32_t& in_slot(std::int32_t n, int k) { return in_[static_cast<std::size_t>(n) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(k)]; }
+  [[nodiscard]] std::int32_t out_slot(std::int32_t n, int k) const { return out_[static_cast<std::size_t>(n) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(k)]; }
+  [[nodiscard]] std::int32_t in_slot(std::int32_t n, int k) const { return in_[static_cast<std::size_t>(n) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(k)]; }
+
+  [[nodiscard]] bool is_sentinel(std::int32_t n) const { return !nodes_[static_cast<std::size_t>(n)].gv.valid(); }
+  [[nodiscard]] std::int32_t node_of(vertex_id v) const;
+
+  /// forwardLabel + backwardLabel of Algorithm 1: longest-path labels over
+  /// the state via one Kahn pass each way. Throws graph_error if the state
+  /// is cyclic (only reachable through deliberately corrupted commits in
+  /// tests). O(K * |V|).
+  void label();
+
+  /// Recomputes <=G if the source graph changed.
+  void refresh_closure();
+
+  /// Seeds + propagates the two legality predicates for inserting v:
+  ///   succ_reach[n]: some scheduled x with v <G x satisfies x <=S n
+  ///   pred_reach[n]: some scheduled p with p <G v satisfies n <=S p
+  /// and the intrinsic source/sink distances of v (Algorithm 1 lines
+  /// 53-54). Fills scratch_succ_reach_/scratch_pred_reach_.
+  void compute_legality_and_intrinsics(vertex_id v, long long& intrinsic_src,
+                                       long long& intrinsic_snk);
+
+  /// Ensures u <=S w holds via a direct cross edge or an implied path,
+  /// maintaining the one-slot-per-thread pairing invariant (the Figure 2
+  /// update rules, generalized to keep out/in slots symmetric).
+  void ensure_cross_edge(std::int32_t u, std::int32_t w);
+
+  void renumber_thread(int k);
+
+  /// Topological order of the current state into scratch_topo_. Throws
+  /// graph_error on a cycle.
+  void state_topo_order();
+
+  const precedence_graph* g_;
+  tag_fn vertex_tag_;
+  std::vector<int> thread_tags_;
+  int k_ = 0;
+
+  std::vector<node> nodes_;
+  std::vector<std::int32_t> out_; // nodes x K slots, -1 = empty
+  std::vector<std::int32_t> in_;
+  std::vector<std::int32_t> s_;   // per-thread source sentinel node
+  std::vector<std::int32_t> t_;   // per-thread sink sentinel node
+  std::vector<std::int32_t> node_index_; // g vertex value -> node or -1
+  std::size_t scheduled_count_ = 0;
+
+  std::optional<graph::transitive_closure> closure_;
+  std::uint64_t closure_revision_ = ~std::uint64_t{0};
+
+  bool labels_valid_ = false;
+  schedule_stats stats_;
+
+  // Scratch buffers reused across schedule() calls to stay allocation-free
+  // in the steady state (Theorem 3's constant factors matter in the
+  // complexity benchmark).
+  std::vector<std::int32_t> scratch_topo_;
+  std::vector<std::int32_t> scratch_degree_;
+  std::vector<std::uint8_t> scratch_succ_reach_;
+  std::vector<std::uint8_t> scratch_pred_reach_;
+};
+
+} // namespace softsched::core

@@ -1,0 +1,153 @@
+#include "ext/retime.h"
+
+#include <optional>
+#include <string>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace softsched::ext {
+
+namespace {
+
+int retimed_weight(const retime_problem::edge& e, const std::vector<int>& r) {
+  return e.weight + r[static_cast<std::size_t>(e.to)] - r[static_cast<std::size_t>(e.from)];
+}
+
+long long body_latency(const retime_problem& p, const std::vector<int>& r,
+                       const ir::resource_set& resources,
+                       const ir::resource_library& library) {
+  const ir::dfg body = body_dfg(p, r, library);
+  core::threaded_graph state = core::make_hls_state(body, resources);
+  state.schedule_all(meta::meta_schedule(body.graph(), meta::meta_kind::list_priority));
+  return state.diameter();
+}
+
+} // namespace
+
+bool valid_retiming(const retime_problem& p, const std::vector<int>& r) {
+  if (r.size() != p.ops.size()) return false;
+  for (const auto& e : p.edges)
+    if (retimed_weight(e, r) < 0) return false;
+  // Zero-weight subgraph must be acyclic (Kahn).
+  const std::size_t n = p.ops.size();
+  std::vector<int> degree(n, 0);
+  for (const auto& e : p.edges)
+    if (retimed_weight(e, r) == 0) ++degree[static_cast<std::size_t>(e.to)];
+  std::vector<int> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (degree[i] == 0) order.push_back(static_cast<int>(i));
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (const auto& e : p.edges)
+      if (e.from == order[head] && retimed_weight(e, r) == 0)
+        if (--degree[static_cast<std::size_t>(e.to)] == 0) order.push_back(e.to);
+  return order.size() == n;
+}
+
+ir::dfg body_dfg(const retime_problem& p, const std::vector<int>& r,
+                 const ir::resource_library& library) {
+  SOFTSCHED_EXPECT(valid_retiming(p, r), "body_dfg needs a valid retiming");
+  ir::dfg body("retimed_body", library);
+  std::vector<graph::vertex_id> ids;
+  ids.reserve(p.ops.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i)
+    ids.push_back(body.add_op(p.ops[i], {}, std::string("o") += std::to_string(i)));
+  for (const auto& e : p.edges)
+    if (retimed_weight(e, r) == 0)
+      body.add_dependence(ids[static_cast<std::size_t>(e.from)],
+                          ids[static_cast<std::size_t>(e.to)]);
+  return body;
+}
+
+namespace {
+
+/// FEAS-style feasibility check (Leiserson & Saxe, adapted to
+/// resource-constrained schedule length): does some retiming achieve a
+/// body schedule of at most `target` cycles? Starting from the identity,
+/// every vertex finishing after the target in the scheduled body gets its
+/// lag incremented - pulling a register across it from its fan-in - and
+/// the body is rescheduled. Classic FEAS needs |V|-1 rounds for the
+/// unconstrained clock-period problem; the resource-constrained variant
+/// gets a 3|V| budget before the target is declared unachievable.
+std::optional<std::vector<int>> feasible_retiming(const retime_problem& p,
+                                                  const ir::resource_set& resources,
+                                                  const ir::resource_library& library,
+                                                  long long target) {
+  std::vector<int> r(p.ops.size(), 0);
+  const std::size_t probe_rounds = 3 * p.ops.size() + 4;
+  for (std::size_t round = 0; round <= probe_rounds; ++round) {
+    if (!valid_retiming(p, r)) return std::nullopt;
+    const ir::dfg body = body_dfg(p, r, library);
+    core::threaded_graph state = core::make_hls_state(body, resources);
+    state.schedule_all(meta::meta_schedule(body.graph(), meta::meta_kind::list_priority));
+    if (state.diameter() <= target) return r;
+    const std::vector<long long> start = state.asap_start_times();
+    bool moved = false;
+    for (std::size_t v = 0; v < p.ops.size(); ++v) {
+      const graph::vertex_id id(static_cast<std::uint32_t>(v));
+      if (start[v] + body.graph().delay(id) > target) {
+        ++r[v];
+        moved = true;
+      }
+    }
+    if (!moved) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+retime_result retime_min_latency(const retime_problem& p, const ir::resource_set& resources,
+                                 const ir::resource_library& library, int max_rounds) {
+  retime_result result;
+  result.r.assign(p.ops.size(), 0);
+  SOFTSCHED_EXPECT(valid_retiming(p, result.r), "identity retiming must be valid");
+
+  result.latency_before = body_latency(p, result.r, resources, library);
+  result.latency_after = result.latency_before;
+
+  // Tighten the target one cycle at a time; each FEAS probe either proves
+  // the target achievable (and hands back the retiming) or we stop at the
+  // last achievable one.
+  long long target = result.latency_before - 1;
+  for (int round = 0; round < max_rounds && target >= 1; ++round, --target) {
+    const auto r = feasible_retiming(p, resources, library, target);
+    if (!r.has_value()) break;
+    result.r = *r;
+    // The achieved latency can undershoot the target; record the measured
+    // value and continue tightening from there.
+    result.latency_after = body_latency(p, result.r, resources, library);
+    result.rounds = round + 1;
+    target = std::min(target, result.latency_after);
+  }
+  return result;
+}
+
+retime_problem make_correlator(int taps) {
+  SOFTSCHED_EXPECT(taps >= 1, "correlator needs at least one tap");
+  retime_problem p;
+  // Vertex numbering: 0 = host, 1..taps = comparators, taps+1..2*taps = adders.
+  p.ops.push_back(ir::op_kind::add); // host
+  for (int i = 0; i < taps; ++i) p.ops.push_back(ir::op_kind::compare);
+  for (int i = 0; i < taps; ++i) p.ops.push_back(ir::op_kind::add);
+  const auto comparator = [](int i) { return 1 + i; };
+  const auto adder = [taps](int i) { return 1 + taps + i; };
+  // Registered delay line: host -> c0 -> c1 -> ... The host edge carries
+  // two registers (input buffering) so every cycle through the
+  // accumulation chain has weight >= 2 - i.e. retiming has registers to
+  // move into the combinational adder chain. (With weight 1 the ring's
+  // delay-to-register ratio would pin the body at its full length and no
+  // retiming could improve it.)
+  p.edges.push_back({0, comparator(0), 2});
+  for (int i = 0; i + 1 < taps; ++i) p.edges.push_back({comparator(i), comparator(i + 1), 1});
+  // Combinational accumulation: c_i -> a_i -> a_{i+1} -> ... -> host.
+  for (int i = 0; i < taps; ++i) p.edges.push_back({comparator(i), adder(i), 0});
+  for (int i = 0; i + 1 < taps; ++i) p.edges.push_back({adder(i), adder(i + 1), 0});
+  p.edges.push_back({adder(taps - 1), 0, 0});
+  return p;
+}
+
+} // namespace softsched::ext

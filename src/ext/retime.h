@@ -1,0 +1,63 @@
+// retime.h - resource-constrained retiming, the second outlook algorithm
+// of Section 6. A synchronous (cyclic) dataflow graph carries registers
+// as edge weights; a retiming r moves registers across vertices. The
+// quality of a retiming under *resource constraints* is the schedule
+// length of its zero-weight body - which we evaluate with the threaded
+// scheduler, exactly the "kernel embedded into other algorithms" use the
+// paper anticipates.
+#pragma once
+
+#include <vector>
+
+#include "ir/dfg.h"
+
+namespace softsched::ext {
+
+/// A synchronous dataflow graph: ops (by kind) + weighted edges; weight =
+/// number of pipeline registers on the edge. Cycles are allowed as long
+/// as every cycle carries at least one register.
+struct retime_problem {
+  struct edge {
+    int from = 0;
+    int to = 0;
+    int weight = 0;
+  };
+  std::vector<ir::op_kind> ops;
+  std::vector<edge> edges;
+};
+
+/// True iff every edge weight stays >= 0 under r and the zero-weight
+/// subgraph is acyclic (a legal synchronous circuit).
+[[nodiscard]] bool valid_retiming(const retime_problem& p, const std::vector<int>& r);
+
+/// The acyclic body: ops connected by the edges whose retimed weight is 0.
+[[nodiscard]] ir::dfg body_dfg(const retime_problem& p, const std::vector<int>& r,
+                               const ir::resource_library& library);
+
+struct retime_result {
+  std::vector<int> r;            ///< final lag per vertex
+  long long latency_before = 0;  ///< body schedule length at r = 0
+  long long latency_after = 0;   ///< body schedule length at the final r
+  int rounds = 0;                ///< hill-climbing rounds taken
+};
+
+/// Resource-constrained retiming by iterative target tightening: for each
+/// target latency (starting one below the identity retiming's body
+/// length), a FEAS-style probe increments the lag of every operation that
+/// finishes past the target in the scheduled body and reschedules - the
+/// threaded scheduler is the inner evaluation kernel. Stops at the first
+/// unachievable target or after max_rounds. The identity retiming must be
+/// valid.
+[[nodiscard]] retime_result retime_min_latency(const retime_problem& p,
+                                               const ir::resource_set& resources,
+                                               const ir::resource_library& library,
+                                               int max_rounds = 32);
+
+/// The classic Leiserson-Saxe style correlator ring: `taps` stages of
+/// (compare, add) against a circulating host edge; the canonical retiming
+/// showcase. The delay-line edges carry one register each (two on the
+/// host edge, modelling input buffering); the combinational accumulation
+/// chain at r = 0 is deliberately long.
+[[nodiscard]] retime_problem make_correlator(int taps);
+
+} // namespace softsched::ext

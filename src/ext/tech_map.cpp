@@ -1,0 +1,110 @@
+#include "ext/tech_map.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace softsched::ext {
+
+namespace {
+
+long long threaded_latency(const ir::dfg& d, const ir::resource_set& resources) {
+  core::threaded_graph state = core::make_hls_state(d, resources);
+  state.schedule_all(meta::meta_schedule(d.graph(), meta::meta_kind::list_priority));
+  return state.diameter();
+}
+
+} // namespace
+
+std::vector<mac_candidate> find_mac_candidates(const ir::dfg& d) {
+  const auto& g = d.graph();
+  std::vector<mac_candidate> candidates;
+  std::vector<bool> add_taken(g.vertex_count(), false);
+  for (const vertex_id m : g.vertices()) {
+    if (d.kind(m) != ir::op_kind::mul) continue;
+    if (g.succs(m).size() != 1) continue;
+    const vertex_id a = g.succs(m)[0];
+    if (d.kind(a) != ir::op_kind::add || add_taken[a.value()]) continue;
+    add_taken[a.value()] = true;
+    candidates.push_back(mac_candidate{m, a});
+  }
+  return candidates;
+}
+
+ir::dfg fuse_macs(const ir::dfg& d, const std::vector<mac_candidate>& fusions,
+                  int mac_latency) {
+  SOFTSCHED_EXPECT(mac_latency >= 1, "MAC latency must be positive");
+  const auto& g = d.graph();
+
+  std::vector<vertex_id> fused_into(g.vertex_count(), vertex_id::invalid());
+  for (const mac_candidate& c : fusions) {
+    SOFTSCHED_EXPECT(g.has_edge(c.mul, c.add), "stale MAC candidate");
+    fused_into[c.mul.value()] = c.add; // the pair materializes at the add's slot
+  }
+
+  ir::dfg mapped(d.name() + "_mac", d.library());
+  std::vector<vertex_id> remap(g.vertex_count(), vertex_id::invalid());
+
+  // First pass: create vertices in id order (skipping fused multiplies,
+  // turning their adds into MAC ops).
+  for (const vertex_id v : g.vertices()) {
+    if (fused_into[v.value()].valid()) continue; // folded into its add
+    const bool is_mac_root =
+        std::any_of(fusions.begin(), fusions.end(),
+                    [v](const mac_candidate& c) { return c.add == v; });
+    if (is_mac_root) {
+      const vertex_id mac = mapped.add_op(ir::op_kind::mul, {},
+                                          "mac_" + std::string(g.name(v)));
+      mapped.graph().set_delay(mac, mac_latency);
+      remap[v.value()] = mac;
+    } else if (d.kind(v) == ir::op_kind::wire) {
+      remap[v.value()] = mapped.add_wire(g.delay(v), {}, std::string(g.name(v)));
+    } else {
+      remap[v.value()] = mapped.add_op(d.kind(v), {}, std::string(g.name(v)));
+    }
+  }
+  // Second pass: edges. Fused multiplies forward their inputs to the MAC;
+  // the mul -> add internal edge disappears.
+  for (const vertex_id v : g.vertices()) {
+    const vertex_id tail =
+        fused_into[v.value()].valid() ? remap[fused_into[v.value()].value()] : remap[v.value()];
+    for (const vertex_id p : g.preds(v)) {
+      const vertex_id head =
+          fused_into[p.value()].valid() ? remap[fused_into[p.value()].value()] : remap[p.value()];
+      if (head == tail) continue; // the internal mul->add edge
+      mapped.graph().add_edge(head, tail);
+    }
+  }
+  mapped.validate();
+  return mapped;
+}
+
+tech_map_result map_macs(const ir::dfg& d, const ir::resource_set& resources,
+                         int mac_latency) {
+  const std::vector<mac_candidate> candidates = find_mac_candidates(d);
+  tech_map_result result{fuse_macs(d, {}, mac_latency), 0, candidates.size(), 0, 0};
+  result.latency_before = threaded_latency(d, resources);
+
+  long long best = result.latency_before;
+  std::vector<mac_candidate> accepted;
+  for (const mac_candidate& c : candidates) {
+    std::vector<mac_candidate> trial = accepted;
+    trial.push_back(c);
+    const ir::dfg mapped = fuse_macs(d, trial, mac_latency);
+    const long long latency = threaded_latency(mapped, resources);
+    if (latency <= best) {
+      best = latency;
+      accepted = std::move(trial);
+    }
+  }
+  result.mapped = fuse_macs(d, accepted, mac_latency);
+  result.fused = accepted.size();
+  result.latency_after = best;
+  return result;
+}
+
+} // namespace softsched::ext

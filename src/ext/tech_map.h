@@ -1,0 +1,54 @@
+// tech_map.h - resource-constrained technology mapping with the threaded
+// scheduler as its evaluation kernel, one of the two polynomial-time
+// algorithms the paper's outlook (Section 6) claims the kernel enables.
+//
+// The mapping decision here is multiply-accumulate fusion: a multiply
+// whose single consumer is an add can be covered by one MAC unit
+// operation (latency mac_latency < mul + add). Whether a fusion helps
+// depends on the schedule - it trades ALU pressure against multiplier
+// occupancy - so each candidate is accepted or rejected by rescheduling
+// the mapped DFG with the threaded scheduler under the given resources.
+#pragma once
+
+#include <vector>
+
+#include "ir/benchmarks.h"
+#include "ir/dfg.h"
+
+namespace softsched::ext {
+
+using graph::vertex_id;
+
+/// A fusable multiply -> add pair (the multiply's only consumer).
+struct mac_candidate {
+  vertex_id mul;
+  vertex_id add;
+};
+
+/// All fusable pairs, deterministically ordered. A multiply qualifies when
+/// its single consumer is an add; each add participates in at most one
+/// candidate (the lowest-id multiply wins).
+[[nodiscard]] std::vector<mac_candidate> find_mac_candidates(const ir::dfg& d);
+
+struct tech_map_result {
+  ir::dfg mapped;               ///< the final mapped DFG
+  std::size_t fused = 0;        ///< accepted fusions
+  std::size_t candidates = 0;   ///< fusable pairs examined
+  long long latency_before = 0; ///< threaded-schedule length, unmapped
+  long long latency_after = 0;  ///< threaded-schedule length, mapped
+};
+
+/// Greedy mapping: walks the candidates, keeps a fusion iff the threaded
+/// schedule of the cumulatively mapped DFG is no worse than the current
+/// best. O(candidates) scheduler runs; each run is the linear online
+/// algorithm, so the whole mapping is polynomial.
+[[nodiscard]] tech_map_result map_macs(const ir::dfg& d, const ir::resource_set& resources,
+                                       int mac_latency = 2);
+
+/// Rebuilds `d` with the given fusions applied (each pair becomes one
+/// multiplier-class op of latency mac_latency named "mac_<add>"). Exposed
+/// for tests.
+[[nodiscard]] ir::dfg fuse_macs(const ir::dfg& d, const std::vector<mac_candidate>& fusions,
+                                int mac_latency);
+
+} // namespace softsched::ext

@@ -1,0 +1,72 @@
+#include "graph/distances.h"
+
+#include <algorithm>
+
+#include "graph/topo.h"
+#include "util/check.h"
+
+namespace softsched::graph {
+
+long long distance_labels::through(vertex_id v, const precedence_graph& g) const {
+  g.require_vertex(v);
+  return sdist[v.value()] + tdist[v.value()] - g.delay(v);
+}
+
+distance_labels compute_distances(const precedence_graph& g) {
+  const std::vector<vertex_id> order = topological_order(g); // throws on cycles
+  distance_labels labels;
+  labels.sdist.assign(g.vertex_count(), 0);
+  labels.tdist.assign(g.vertex_count(), 0);
+
+  for (const vertex_id v : order) {
+    long long best = 0;
+    for (const vertex_id p : g.preds(v)) best = std::max(best, labels.sdist[p.value()]);
+    labels.sdist[v.value()] = best + g.delay(v);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vertex_id v = *it;
+    long long best = 0;
+    for (const vertex_id q : g.succs(v)) best = std::max(best, labels.tdist[q.value()]);
+    labels.tdist[v.value()] = best + g.delay(v);
+  }
+  for (const vertex_id v : order)
+    labels.diameter = std::max(labels.diameter, labels.through(v, g));
+  return labels;
+}
+
+std::vector<vertex_id> critical_path(const precedence_graph& g) {
+  if (g.vertex_count() == 0) return {};
+  const distance_labels labels = compute_distances(g);
+
+  // Start at the lowest-id vertex achieving the diameter with sdist == delay
+  // (i.e. a source of a critical path), then greedily extend forward.
+  vertex_id head = vertex_id::invalid();
+  for (const vertex_id v : g.vertices()) {
+    if (labels.through(v, g) == labels.diameter &&
+        labels.sdist[v.value()] == g.delay(v)) {
+      head = v;
+      break;
+    }
+  }
+  SOFTSCHED_EXPECT(head.valid(), "critical path must start at some source");
+
+  std::vector<vertex_id> path{head};
+  vertex_id cur = head;
+  while (!g.succs(cur).empty()) {
+    vertex_id next = vertex_id::invalid();
+    for (const vertex_id q : g.succs(cur)) {
+      // q continues a critical path iff its sink distance accounts for the
+      // remaining length exactly.
+      if (labels.tdist[q.value()] == labels.tdist[cur.value()] - g.delay(cur) &&
+          (!next.valid() || q < next)) {
+        next = q;
+      }
+    }
+    if (!next.valid()) break; // cur is a sink of the critical path
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+} // namespace softsched::graph

@@ -1,0 +1,32 @@
+// distances.h - the distance metrics of Definition 1:
+//   source distance ||->v||   longest delay-sum over paths PI ... v (incl. v)
+//   sink distance   ||v->||   longest delay-sum over paths v ... PO (incl. v)
+//   distance        ||->v->|| longest PI ... PO path through v
+//   diameter        ||G||     max distance over all vertices (critical path)
+#pragma once
+
+#include <vector>
+
+#include "graph/precedence_graph.h"
+
+namespace softsched::graph {
+
+/// All Definition-1 labels of a graph, computed in one pass each direction.
+struct distance_labels {
+  std::vector<long long> sdist; ///< ||->v||, indexed by vertex id
+  std::vector<long long> tdist; ///< ||v->||
+  long long diameter = 0;       ///< ||G||
+
+  /// ||->v->|| = sdist + tdist - delay (v's own delay is in both labels).
+  [[nodiscard]] long long through(vertex_id v, const precedence_graph& g) const;
+};
+
+/// Computes source/sink distances and the diameter. Throws graph_error if
+/// the graph is cyclic. O(V + E).
+[[nodiscard]] distance_labels compute_distances(const precedence_graph& g);
+
+/// One longest (critical) path from a source to a sink, as a vertex list.
+/// Empty for an empty graph. Deterministic tie-breaking (lowest id).
+[[nodiscard]] std::vector<vertex_id> critical_path(const precedence_graph& g);
+
+} // namespace softsched::graph

@@ -1,0 +1,21 @@
+#include "graph/dot.h"
+
+namespace softsched::graph {
+
+void write_dot(std::ostream& os, const precedence_graph& g, std::string_view graph_name) {
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (const vertex_id v : g.vertices()) {
+    os << "  v" << v.value() << " [label=\"";
+    if (!g.name(v).empty())
+      os << g.name(v);
+    else
+      os << 'v' << v.value();
+    os << " (" << g.delay(v) << ")\"];\n";
+  }
+  for (const vertex_id u : g.vertices())
+    for (const vertex_id w : g.succs(u)) os << "  v" << u.value() << " -> v" << w.value() << ";\n";
+  os << "}\n";
+}
+
+} // namespace softsched::graph

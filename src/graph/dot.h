@@ -1,0 +1,16 @@
+// dot.h - Graphviz export for debugging and documentation.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "graph/precedence_graph.h"
+
+namespace softsched::graph {
+
+/// Writes g in Graphviz DOT syntax. Vertex labels are "name (delay)" when a
+/// name is set, otherwise "v<id> (delay)".
+void write_dot(std::ostream& os, const precedence_graph& g,
+               std::string_view graph_name = "G");
+
+} // namespace softsched::graph

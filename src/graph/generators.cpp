@@ -1,0 +1,89 @@
+#include "graph/generators.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace softsched::graph {
+
+precedence_graph layered_random(const layered_params& params, rng& rand) {
+  SOFTSCHED_EXPECT(params.layers >= 1 && params.width >= 1, "layers/width must be positive");
+  SOFTSCHED_EXPECT(params.min_delay >= 0 && params.min_delay <= params.max_delay,
+                   "invalid delay range");
+  precedence_graph g;
+  std::vector<std::vector<vertex_id>> layers(static_cast<std::size_t>(params.layers));
+  for (int layer = 0; layer < params.layers; ++layer) {
+    for (int i = 0; i < params.width; ++i) {
+      const int delay = static_cast<int>(rand.range(params.min_delay, params.max_delay));
+      layers[static_cast<std::size_t>(layer)].push_back(g.add_vertex(delay));
+    }
+  }
+  for (int layer = 0; layer + 1 < params.layers; ++layer) {
+    const auto& from = layers[static_cast<std::size_t>(layer)];
+    const auto& to = layers[static_cast<std::size_t>(layer) + 1];
+    for (const vertex_id v : to) {
+      bool connected = false;
+      for (const vertex_id u : from) {
+        if (rand.chance(params.edge_prob)) {
+          g.add_edge(u, v);
+          connected = true;
+        }
+      }
+      if (!connected && params.connect_layers) {
+        g.add_edge(from[static_cast<std::size_t>(rand.below(from.size()))], v);
+      }
+    }
+  }
+  return g;
+}
+
+precedence_graph gnp_dag(int n, double p, int min_delay, int max_delay, rng& rand) {
+  SOFTSCHED_EXPECT(n >= 0, "vertex count must be non-negative");
+  SOFTSCHED_EXPECT(min_delay >= 0 && min_delay <= max_delay, "invalid delay range");
+  precedence_graph g;
+  std::vector<vertex_id> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    ids.push_back(g.add_vertex(static_cast<int>(rand.range(min_delay, max_delay))));
+  // A hidden random permutation decides edge direction so low vertex ids do
+  // not systematically become sources.
+  std::vector<vertex_id> perm = ids;
+  rand.shuffle(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    for (std::size_t j = i + 1; j < perm.size(); ++j)
+      if (rand.chance(p)) g.add_edge(perm[i], perm[j]);
+  return g;
+}
+
+precedence_graph chain(int n, int delay) {
+  SOFTSCHED_EXPECT(n >= 0, "vertex count must be non-negative");
+  precedence_graph g;
+  vertex_id prev = vertex_id::invalid();
+  for (int i = 0; i < n; ++i) {
+    const vertex_id v = g.add_vertex(delay);
+    if (prev.valid()) g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+precedence_graph reduction_tree(int leaves, int leaf_delay, int node_delay) {
+  SOFTSCHED_EXPECT(leaves >= 1, "tree needs at least one leaf");
+  precedence_graph g;
+  std::vector<vertex_id> frontier;
+  for (int i = 0; i < leaves; ++i) frontier.push_back(g.add_vertex(leaf_delay));
+  while (frontier.size() > 1) {
+    std::vector<vertex_id> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      const vertex_id parent = g.add_vertex(node_delay);
+      g.add_edge(frontier[i], parent);
+      g.add_edge(frontier[i + 1], parent);
+      next.push_back(parent);
+    }
+    if (frontier.size() % 2 == 1) next.push_back(frontier.back());
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+} // namespace softsched::graph

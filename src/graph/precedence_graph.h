@@ -1,0 +1,105 @@
+// precedence_graph.h - the precedence graph of Definition 1 in the paper:
+// a DAG G = <V, E, D> with a per-vertex delay function D.
+//
+// This is the substrate every other module builds on. Vertices are arena
+// indices (no pointer graphs); adjacency is stored both ways so that the
+// schedulers can walk predecessors and successors symmetrically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace softsched::graph {
+
+/// Strongly-typed vertex index. Comparable and hashable; invalid() is the
+/// sentinel "no vertex".
+class vertex_id {
+public:
+  constexpr vertex_id() noexcept = default;
+  constexpr explicit vertex_id(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != std::numeric_limits<std::uint32_t>::max();
+  }
+
+  [[nodiscard]] static constexpr vertex_id invalid() noexcept { return vertex_id(); }
+
+  friend constexpr bool operator==(vertex_id, vertex_id) noexcept = default;
+  friend constexpr auto operator<=>(vertex_id, vertex_id) noexcept = default;
+
+private:
+  std::uint32_t value_ = std::numeric_limits<std::uint32_t>::max();
+};
+
+/// Directed acyclic graph with integer vertex delays (Definition 1).
+///
+/// Acyclicity is *not* enforced on every add_edge (builders are free to
+/// create edges in any order); call validate() once construction finishes,
+/// or rely on the algorithms that require a DAG to throw graph_error.
+class precedence_graph {
+public:
+  precedence_graph() = default;
+
+  /// Creates a vertex with the given delay (must be >= 0) and optional
+  /// diagnostic name. Returns its id.
+  vertex_id add_vertex(int delay, std::string name = {});
+
+  /// Adds the edge from -> to. Self-loops are rejected; duplicate edges are
+  /// ignored (the partial order is a set).
+  void add_edge(vertex_id from, vertex_id to);
+
+  /// Removes the edge if present; returns whether it existed.
+  bool remove_edge(vertex_id from, vertex_id to);
+
+  [[nodiscard]] bool has_edge(vertex_id from, vertex_id to) const;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return delay_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] int delay(vertex_id v) const;
+  void set_delay(vertex_id v, int delay);
+
+  [[nodiscard]] std::string_view name(vertex_id v) const;
+  void set_name(vertex_id v, std::string name);
+
+  [[nodiscard]] std::span<const vertex_id> preds(vertex_id v) const;
+  [[nodiscard]] std::span<const vertex_id> succs(vertex_id v) const;
+
+  /// Vertices without predecessors ("primary inputs" in the paper).
+  [[nodiscard]] std::vector<vertex_id> sources() const;
+  /// Vertices without successors ("primary outputs").
+  [[nodiscard]] std::vector<vertex_id> sinks() const;
+
+  /// All vertex ids, 0..n-1.
+  [[nodiscard]] std::vector<vertex_id> vertices() const;
+
+  /// True iff the graph is acyclic.
+  [[nodiscard]] bool is_dag() const;
+
+  /// Throws graph_error if the graph contains a cycle or dangling state.
+  void validate() const;
+
+  /// Bounds-checks v and throws precondition_error if it is not a vertex
+  /// of this graph.
+  void require_vertex(vertex_id v) const;
+
+  /// Monotonically increasing mutation counter. Consumers (e.g. the
+  /// threaded scheduler's transitive-closure cache) use it to detect that
+  /// the graph changed underneath them.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+private:
+  std::vector<int> delay_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<vertex_id>> out_;
+  std::vector<std::vector<vertex_id>> in_;
+  std::size_t edge_count_ = 0;
+  std::uint64_t revision_ = 0;
+};
+
+} // namespace softsched::graph

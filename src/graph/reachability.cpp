@@ -1,0 +1,39 @@
+#include "graph/reachability.h"
+
+#include <bit>
+
+#include "graph/topo.h"
+
+namespace softsched::graph {
+
+transitive_closure::transitive_closure(const precedence_graph& g)
+    : n_(g.vertex_count()), words_((n_ + 63) / 64), bits_(n_ * words_, 0) {
+  // Process vertices in reverse topological order; each row is the union of
+  // successor rows plus the vertex itself.
+  const std::vector<vertex_id> order = topological_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t u = it->value();
+    set_bit(u, u);
+    for (const vertex_id w : g.succs(*it)) {
+      const std::size_t row_u = u * words_;
+      const std::size_t row_w = w.value() * words_;
+      for (std::size_t i = 0; i < words_; ++i) bits_[row_u + i] |= bits_[row_w + i];
+    }
+  }
+}
+
+bool transitive_closure::reaches(vertex_id u, vertex_id v) const {
+  return bit(u.value(), v.value());
+}
+
+bool transitive_closure::strictly_reaches(vertex_id u, vertex_id v) const {
+  return u != v && bit(u.value(), v.value());
+}
+
+std::size_t transitive_closure::pair_count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t word : bits_) total += static_cast<std::size_t>(std::popcount(word));
+  return total - n_; // subtract the reflexive diagonal
+}
+
+} // namespace softsched::graph

@@ -1,0 +1,45 @@
+// reachability.h - transitive closure of a precedence graph: the partial
+// order <=G of Definition 1. Stored as one bitset row per vertex, so a
+// reaches() query is O(1) and building is O(V*E/64).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/precedence_graph.h"
+
+namespace softsched::graph {
+
+/// Transitive closure. reaches(u, v) is true iff there is a (possibly
+/// empty) directed path u ->* v; every vertex reaches itself, matching the
+/// reflexive partial order <=G used throughout the paper.
+class transitive_closure {
+public:
+  /// Builds the closure. Throws graph_error on cycles.
+  explicit transitive_closure(const precedence_graph& g);
+
+  /// u <=G v (reflexive).
+  [[nodiscard]] bool reaches(vertex_id u, vertex_id v) const;
+
+  /// u <G v (irreflexive / strict).
+  [[nodiscard]] bool strictly_reaches(vertex_id u, vertex_id v) const;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return n_; }
+
+  /// Number of ordered pairs (u, v), u != v, with u <G v.
+  [[nodiscard]] std::size_t pair_count() const;
+
+private:
+  [[nodiscard]] bool bit(std::size_t row, std::size_t col) const {
+    return (bits_[row * words_ + col / 64] >> (col % 64)) & 1u;
+  }
+  void set_bit(std::size_t row, std::size_t col) {
+    bits_[row * words_ + col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+} // namespace softsched::graph

@@ -1,0 +1,144 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace softsched::graph {
+
+std::vector<vertex_id> topological_order(const precedence_graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> in_degree(n);
+  for (const vertex_id v : g.vertices()) in_degree[v.value()] = g.preds(v).size();
+
+  // Min-heap on vertex id for deterministic output.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>, std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (in_degree[i] == 0) ready.push(static_cast<std::uint32_t>(i));
+
+  std::vector<vertex_id> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const vertex_id u(ready.top());
+    ready.pop();
+    order.push_back(u);
+    for (const vertex_id w : g.succs(u))
+      if (--in_degree[w.value()] == 0) ready.push(w.value());
+  }
+  if (order.size() != n) throw graph_error("topological_order: graph contains a cycle");
+  return order;
+}
+
+std::vector<vertex_id> depth_first_order(const precedence_graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> visited(n, false);
+  std::vector<vertex_id> order;
+  order.reserve(n);
+
+  // Iterative preorder DFS from each source; explicit stack keeps adjacency
+  // order stable (push successors reversed so the first successor pops first).
+  std::vector<vertex_id> stack;
+  auto visit_from = [&](vertex_id root) {
+    if (visited[root.value()]) return;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const vertex_id u = stack.back();
+      stack.pop_back();
+      if (visited[u.value()]) continue;
+      visited[u.value()] = true;
+      order.push_back(u);
+      const auto succs = g.succs(u);
+      for (std::size_t i = succs.size(); i > 0; --i) {
+        if (!visited[succs[i - 1].value()]) stack.push_back(succs[i - 1]);
+      }
+    }
+  };
+  for (const vertex_id s : g.sources()) visit_from(s);
+  // Defensive: cover vertices unreachable from any source (only possible in
+  // cyclic graphs, but depth_first_order itself must not hang or drop them).
+  for (const vertex_id v : g.vertices()) visit_from(v);
+  return order;
+}
+
+std::vector<std::vector<vertex_id>> path_partition(const precedence_graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> taken(n, false);
+  std::size_t remaining = n;
+  std::vector<std::vector<vertex_id>> paths;
+
+  const std::vector<vertex_id> base_order = topological_order(g); // throws on cycles
+
+  while (remaining > 0) {
+    // Longest-path DP over the not-yet-taken induced subgraph.
+    std::vector<long long> best(n, 0);
+    std::vector<vertex_id> best_pred(n, vertex_id::invalid());
+    vertex_id tail = vertex_id::invalid();
+    long long tail_len = -1;
+    for (const vertex_id v : base_order) {
+      if (taken[v.value()]) continue;
+      long long acc = 0;
+      vertex_id arg = vertex_id::invalid();
+      for (const vertex_id p : g.preds(v)) {
+        if (taken[p.value()]) continue;
+        if (best[p.value()] > acc || (best[p.value()] == acc && arg.valid() && p < arg)) {
+          acc = best[p.value()];
+          arg = p;
+        } else if (!arg.valid() && best[p.value()] == acc && acc > 0) {
+          arg = p;
+        }
+      }
+      best[v.value()] = acc + g.delay(v);
+      best_pred[v.value()] = arg;
+      if (best[v.value()] > tail_len || (best[v.value()] == tail_len && tail.valid() && v < tail)) {
+        tail_len = best[v.value()];
+        tail = v;
+      }
+    }
+
+    // Peel the path ending at `tail`.
+    std::vector<vertex_id> path;
+    for (vertex_id v = tail; v.valid(); v = best_pred[v.value()]) {
+      path.push_back(v);
+      taken[v.value()] = true;
+      --remaining;
+    }
+    std::reverse(path.begin(), path.end());
+    paths.push_back(std::move(path));
+  }
+
+  // Longest-first ordering; the peeling already tends to produce it, but ties
+  // and delay-weighted lengths can interleave, so sort explicitly (stable to
+  // keep peel order among equals).
+  std::stable_sort(paths.begin(), paths.end(), [&g](const auto& a, const auto& b) {
+    auto weight = [&g](const std::vector<vertex_id>& p) {
+      long long w = 0;
+      for (const vertex_id v : p) w += g.delay(v);
+      return w;
+    };
+    return weight(a) > weight(b);
+  });
+  return paths;
+}
+
+bool is_permutation(const precedence_graph& g, const std::vector<vertex_id>& order) {
+  if (order.size() != g.vertex_count()) return false;
+  std::vector<bool> seen(g.vertex_count(), false);
+  for (const vertex_id v : order) {
+    if (!v.valid() || v.value() >= g.vertex_count() || seen[v.value()]) return false;
+    seen[v.value()] = true;
+  }
+  return true;
+}
+
+bool is_topological(const precedence_graph& g, const std::vector<vertex_id>& order) {
+  if (!is_permutation(g, order)) return false;
+  std::vector<std::size_t> position(g.vertex_count());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i].value()] = i;
+  for (const vertex_id u : g.vertices())
+    for (const vertex_id w : g.succs(u))
+      if (position[u.value()] >= position[w.value()]) return false;
+  return true;
+}
+
+} // namespace softsched::graph

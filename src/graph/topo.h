@@ -1,0 +1,36 @@
+// topo.h - vertex orderings over precedence graphs. These underlie the
+// paper's meta schedules (Section 5) and the labeling passes.
+#pragma once
+
+#include <vector>
+
+#include "graph/precedence_graph.h"
+
+namespace softsched::graph {
+
+/// Kahn topological order with deterministic tie-breaking (lowest ready id
+/// first). Throws graph_error on cycles. This is the order "meta schedule 2"
+/// feeds the online scheduler.
+[[nodiscard]] std::vector<vertex_id> topological_order(const precedence_graph& g);
+
+/// Depth-first preorder starting from the sources in id order, visiting
+/// successors in adjacency order ("meta schedule 1"). Note this order is
+/// generally NOT topological - dependents can appear before their inputs,
+/// which is exactly why it stresses the online scheduler.
+[[nodiscard]] std::vector<vertex_id> depth_first_order(const precedence_graph& g);
+
+/// Partitions the vertices into vertex-disjoint paths by repeatedly peeling
+/// the longest (delay-weighted) remaining path ("meta schedule 3" structure).
+/// Paths are returned longest-first; every vertex is on exactly one path.
+[[nodiscard]] std::vector<std::vector<vertex_id>> path_partition(const precedence_graph& g);
+
+/// True iff `order` contains each vertex exactly once and respects all
+/// edges of g (u before v for every edge u->v).
+[[nodiscard]] bool is_topological(const precedence_graph& g,
+                                  const std::vector<vertex_id>& order);
+
+/// True iff `order` contains each vertex of g exactly once (any order).
+[[nodiscard]] bool is_permutation(const precedence_graph& g,
+                                  const std::vector<vertex_id>& order);
+
+} // namespace softsched::graph

@@ -1,0 +1,54 @@
+#include "hard/asap_alap.h"
+
+#include <algorithm>
+
+#include "graph/distances.h"
+#include "graph/topo.h"
+#include "util/check.h"
+
+namespace softsched::hard {
+
+schedule asap_schedule(const ir::dfg& d) {
+  const auto& g = d.graph();
+  schedule s;
+  s.start.assign(g.vertex_count(), 0);
+  s.unit.assign(g.vertex_count(), -1);
+  for (const vertex_id v : graph::topological_order(g)) {
+    long long earliest = 0;
+    for (const vertex_id p : g.preds(v))
+      earliest = std::max(earliest, s.start[p.value()] + g.delay(p));
+    s.start[v.value()] = earliest;
+    s.makespan = std::max(s.makespan, earliest + g.delay(v));
+  }
+  return s;
+}
+
+schedule alap_schedule(const ir::dfg& d, long long latency) {
+  const auto& g = d.graph();
+  const long long critical = graph::compute_distances(g).diameter;
+  SOFTSCHED_EXPECT(latency >= critical,
+                   "ALAP latency is below the critical path length");
+  schedule s;
+  s.start.assign(g.vertex_count(), 0);
+  s.unit.assign(g.vertex_count(), -1);
+  s.makespan = latency;
+  const std::vector<vertex_id> order = graph::topological_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vertex_id v = *it;
+    long long latest = latency - g.delay(v);
+    for (const vertex_id q : g.succs(v))
+      latest = std::min(latest, s.start[q.value()] - g.delay(v));
+    s.start[v.value()] = latest;
+  }
+  return s;
+}
+
+std::vector<long long> mobility(const ir::dfg& d, long long latency) {
+  const schedule asap = asap_schedule(d);
+  const schedule alap = alap_schedule(d, latency);
+  std::vector<long long> m(d.graph().vertex_count());
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = alap.start[i] - asap.start[i];
+  return m;
+}
+
+} // namespace softsched::hard

@@ -1,0 +1,23 @@
+// asap_alap.h - unconstrained as-soon-as-possible / as-late-as-possible
+// schedules and operation mobility. ALAP of the input DFG is what the
+// paper's Figure 1 (b) shows as "the" hard schedule; mobility feeds the
+// force-directed baseline.
+#pragma once
+
+#include "hard/schedule.h"
+
+namespace softsched::hard {
+
+/// ASAP: every operation starts as soon as its predecessors finish.
+/// Makespan equals the graph diameter (critical path).
+[[nodiscard]] schedule asap_schedule(const ir::dfg& d);
+
+/// ALAP against a target latency (must be >= the critical path, or
+/// precondition_error is thrown). Operations start as late as possible.
+[[nodiscard]] schedule alap_schedule(const ir::dfg& d, long long latency);
+
+/// alap.start - asap.start per op under the given latency; the "time
+/// frame" width + 1 of force-directed scheduling.
+[[nodiscard]] std::vector<long long> mobility(const ir::dfg& d, long long latency);
+
+} // namespace softsched::hard

@@ -1,0 +1,16 @@
+#include "hard/extract.h"
+
+namespace softsched::hard {
+
+schedule extract_schedule(core::threaded_graph& state) {
+  schedule s;
+  s.start = state.asap_start_times();
+  s.unit.assign(s.start.size(), -1);
+  const auto& g = state.source_graph();
+  for (const vertex_id v : g.vertices())
+    if (state.scheduled(v)) s.unit[v.value()] = state.thread_of(v);
+  s.makespan = state.diameter();
+  return s;
+}
+
+} // namespace softsched::hard

@@ -1,0 +1,17 @@
+// extract.h - hard-schedule extraction: the deferred "hard decision" of
+// Section 3. Once all information is in, the exact operation -> time-step
+// mapping is read off the threaded state by an ASAP pass; the thread of
+// each operation is its functional-unit binding.
+#pragma once
+
+#include "core/threaded_graph.h"
+#include "hard/schedule.h"
+
+namespace softsched::hard {
+
+/// Converts a (fully scheduled) threaded state into a hard schedule:
+/// start(v) = ||-> v|| - delay(v), unit(v) = thread(v), makespan = ||S||.
+/// Operations not yet scheduled in the state keep start = -1.
+[[nodiscard]] schedule extract_schedule(core::threaded_graph& state);
+
+} // namespace softsched::hard

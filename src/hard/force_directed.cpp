@@ -1,0 +1,166 @@
+#include "hard/force_directed.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/distances.h"
+#include "graph/topo.h"
+#include "util/check.h"
+
+namespace softsched::hard {
+
+namespace {
+
+/// Start-window recomputation honouring already-fixed operations.
+struct frames {
+  std::vector<long long> earliest;
+  std::vector<long long> latest;
+};
+
+frames compute_frames(const ir::dfg& d, long long latency,
+                      const std::vector<long long>& fixed) {
+  const auto& g = d.graph();
+  frames f;
+  f.earliest.assign(g.vertex_count(), 0);
+  f.latest.assign(g.vertex_count(), 0);
+  const std::vector<vertex_id> order = graph::topological_order(g);
+  for (const vertex_id v : order) {
+    long long e = 0;
+    for (const vertex_id p : g.preds(v))
+      e = std::max(e, f.earliest[p.value()] + g.delay(p));
+    if (fixed[v.value()] >= 0) e = fixed[v.value()];
+    f.earliest[v.value()] = e;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vertex_id v = *it;
+    long long l = latency - g.delay(v);
+    for (const vertex_id q : g.succs(v))
+      l = std::min(l, f.latest[q.value()] - g.delay(v));
+    if (fixed[v.value()] >= 0) l = fixed[v.value()];
+    f.latest[v.value()] = l;
+    if (l < f.earliest[v.value()])
+      throw infeasible_error("force-directed frames collapsed: latency too tight");
+  }
+  return f;
+}
+
+/// Occupancy probability of op v at cycle c given start window [e, l]:
+/// the fraction of feasible starts that cover c.
+double occupancy(long long e, long long l, int delay, long long c) {
+  const long long w = l - e + 1;
+  const long long first = std::max(e, c - delay + 1);
+  const long long last = std::min(l, c);
+  if (first > last) return 0.0;
+  return static_cast<double>(last - first + 1) / static_cast<double>(w);
+}
+
+} // namespace
+
+fds_result force_directed_schedule(const ir::dfg& d, long long latency) {
+  const auto& g = d.graph();
+  const long long critical = graph::compute_distances(g).diameter;
+  SOFTSCHED_EXPECT(latency >= critical, "FDS latency is below the critical path");
+
+  const std::size_t n = g.vertex_count();
+  std::vector<long long> fixed(n, -1);
+  std::size_t remaining = n;
+
+  // Wire pseudo-ops carry no resource pressure: fix them greedily at their
+  // earliest slot up front and let the frames propagate.
+  frames f = compute_frames(d, latency, fixed);
+
+  while (remaining > 0) {
+    f = compute_frames(d, latency, fixed);
+
+    // Distribution graphs per contended class.
+    std::vector<std::vector<double>> dg(
+        ir::resource_class_count, std::vector<double>(static_cast<std::size_t>(latency), 0.0));
+    for (const vertex_id v : g.vertices()) {
+      const auto cls = static_cast<int>(d.unit_class(v));
+      if (d.unit_class(v) == ir::resource_class::wire) continue;
+      for (long long c = f.earliest[v.value()];
+           c < f.latest[v.value()] + g.delay(v) && c < latency; ++c)
+        dg[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)] +=
+            occupancy(f.earliest[v.value()], f.latest[v.value()], g.delay(v), c);
+    }
+
+    double best_force = std::numeric_limits<double>::infinity();
+    vertex_id best_v = vertex_id::invalid();
+    long long best_t = -1;
+
+    for (const vertex_id v : g.vertices()) {
+      if (fixed[v.value()] >= 0) continue;
+      const long long e = f.earliest[v.value()];
+      const long long l = f.latest[v.value()];
+      const int dv = g.delay(v);
+      const auto cls = static_cast<std::size_t>(d.unit_class(v));
+      const bool contended = d.unit_class(v) != ir::resource_class::wire;
+
+      for (long long t = e; t <= l; ++t) {
+        double force = 0.0;
+        if (contended) {
+          // Self force: how much fixing at t raises the op's own class DG
+          // above its current smeared contribution.
+          for (long long c = e; c < l + dv && c < latency; ++c) {
+            const double p = occupancy(e, l, dv, c);
+            const double x = (c >= t && c < t + dv) ? 1.0 : 0.0;
+            force += dg[cls][static_cast<std::size_t>(c)] * (x - p);
+          }
+          // One-level predecessor/successor forces: fixing v at t shrinks
+          // the neighbours' windows; charge the DG delta.
+          for (const vertex_id p : g.preds(v)) {
+            if (fixed[p.value()] >= 0 ||
+                d.unit_class(p) == ir::resource_class::wire)
+              continue;
+            const long long pl = std::min(f.latest[p.value()], t - g.delay(p));
+            const auto pcls = static_cast<std::size_t>(d.unit_class(p));
+            for (long long c = f.earliest[p.value()];
+                 c < f.latest[p.value()] + g.delay(p) && c < latency; ++c) {
+              const double before =
+                  occupancy(f.earliest[p.value()], f.latest[p.value()], g.delay(p), c);
+              const double after = occupancy(f.earliest[p.value()], pl, g.delay(p), c);
+              force += dg[pcls][static_cast<std::size_t>(c)] * (after - before);
+            }
+          }
+          for (const vertex_id q : g.succs(v)) {
+            if (fixed[q.value()] >= 0 ||
+                d.unit_class(q) == ir::resource_class::wire)
+              continue;
+            const long long qe = std::max(f.earliest[q.value()], t + dv);
+            const auto qcls = static_cast<std::size_t>(d.unit_class(q));
+            for (long long c = f.earliest[q.value()];
+                 c < f.latest[q.value()] + g.delay(q) && c < latency; ++c) {
+              const double before =
+                  occupancy(f.earliest[q.value()], f.latest[q.value()], g.delay(q), c);
+              const double after = occupancy(qe, f.latest[q.value()], g.delay(q), c);
+              force += dg[qcls][static_cast<std::size_t>(c)] * (after - before);
+            }
+          }
+        }
+        if (force < best_force - 1e-12) {
+          best_force = force;
+          best_v = v;
+          best_t = t;
+        }
+      }
+    }
+
+    SOFTSCHED_EXPECT(best_v.valid(), "FDS found no schedulable operation");
+    fixed[best_v.value()] = best_t;
+    --remaining;
+  }
+
+  fds_result result;
+  result.sched.start = fixed;
+  result.sched.unit.assign(n, -1);
+  result.sched.makespan = 0;
+  for (const vertex_id v : g.vertices())
+    result.sched.makespan =
+        std::max(result.sched.makespan, fixed[v.value()] + g.delay(v));
+  for (int cls = 0; cls < ir::resource_class_count; ++cls)
+    result.peak[cls] =
+        peak_usage(d, result.sched, static_cast<ir::resource_class>(cls));
+  return result;
+}
+
+} // namespace softsched::hard

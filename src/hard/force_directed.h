@@ -1,0 +1,22 @@
+// force_directed.h - Paulin & Knight's force-directed scheduling (FDS),
+// the time-constrained hard baseline cited in the paper's related work.
+// Given a latency budget, FDS balances per-class "distribution graphs" by
+// repeatedly fixing the (operation, start-cycle) pair with the lowest
+// force, minimizing peak unit usage.
+#pragma once
+
+#include "hard/schedule.h"
+
+namespace softsched::hard {
+
+struct fds_result {
+  schedule sched;
+  int peak[ir::resource_class_count] = {0, 0, 0, 0}; ///< indexed by resource_class
+};
+
+/// Schedules d within `latency` cycles (must be >= the critical path).
+/// Deterministic: force ties break toward the lower vertex id and the
+/// earlier cycle. O(V^2 * L) - fine for benchmark-scale graphs.
+[[nodiscard]] fds_result force_directed_schedule(const ir::dfg& d, long long latency);
+
+} // namespace softsched::hard

@@ -1,0 +1,17 @@
+// list_scheduler.h - the traditional resource-constrained list scheduler
+// (the "list sched" rows of Figure 3). Critical-path priority: ready
+// operations with the largest sink distance go first, the same priority
+// meta schedule 4 feeds the soft scheduler.
+#pragma once
+
+#include "hard/schedule.h"
+
+namespace softsched::hard {
+
+/// Resource-constrained list scheduling. Units are non-pipelined; an op
+/// occupies its unit for `delay` cycles. Wire ops are dedicated and start
+/// as early as dependences allow. Throws infeasible_error if a needed
+/// class has zero units.
+[[nodiscard]] schedule list_schedule(const ir::dfg& d, const ir::resource_set& resources);
+
+} // namespace softsched::hard

@@ -1,0 +1,114 @@
+#include "hard/schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace softsched::hard {
+
+bool schedule::complete(const ir::dfg& d) const {
+  if (start.size() != d.graph().vertex_count()) return false;
+  return std::all_of(start.begin(), start.end(), [](long long s) { return s >= 0; });
+}
+
+std::vector<std::string> validate_schedule(const ir::dfg& d, const schedule& s,
+                                           const ir::resource_set* resources) {
+  std::vector<std::string> violations;
+  const auto& g = d.graph();
+  if (s.start.size() != g.vertex_count()) {
+    violations.push_back("start vector size does not match the graph");
+    return violations;
+  }
+  for (const vertex_id v : g.vertices()) {
+    if (s.start[v.value()] < 0) {
+      violations.push_back("operation " + std::string(g.name(v)) + " is unscheduled");
+      continue;
+    }
+    for (const vertex_id p : g.preds(v)) {
+      if (s.start[p.value()] < 0) continue; // reported for p itself
+      if (s.start[v.value()] < s.start[p.value()] + g.delay(p)) {
+        violations.push_back("precedence violated: " + std::string(g.name(p)) + " -> " +
+                             std::string(g.name(v)));
+      }
+    }
+    if (s.start[v.value()] + g.delay(v) > s.makespan) {
+      violations.push_back("operation " + std::string(g.name(v)) +
+                           " finishes after the makespan");
+    }
+  }
+  if (resources != nullptr) {
+    for (const ir::resource_class cls :
+         {ir::resource_class::alu, ir::resource_class::multiplier,
+          ir::resource_class::memory_port}) {
+      const int peak = peak_usage(d, s, cls);
+      if (peak > resources->count(cls)) {
+        violations.push_back(std::string(ir::class_name(cls)) + " over-subscribed: peak " +
+                             std::to_string(peak) + " > " +
+                             std::to_string(resources->count(cls)));
+      }
+    }
+  }
+  // Unit-binding consistency: two ops bound to the same unit must not
+  // overlap (only checked where bindings are present).
+  const auto& g2 = d.graph();
+  if (s.unit.size() == g2.vertex_count()) {
+    for (const vertex_id a : g2.vertices()) {
+      if (s.unit[a.value()] < 0 || s.start[a.value()] < 0) continue;
+      for (const vertex_id b : g2.vertices()) {
+        if (b.value() <= a.value() || s.unit[b.value()] != s.unit[a.value()] ||
+            s.start[b.value()] < 0)
+          continue;
+        const long long a0 = s.start[a.value()], a1 = a0 + g2.delay(a);
+        const long long b0 = s.start[b.value()], b1 = b0 + g2.delay(b);
+        if (a0 < b1 && b0 < a1) {
+          violations.push_back("unit conflict between " + std::string(g2.name(a)) +
+                               " and " + std::string(g2.name(b)));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<int> usage_profile(const ir::dfg& d, const schedule& s,
+                               ir::resource_class cls) {
+  std::vector<int> profile(static_cast<std::size_t>(std::max<long long>(s.makespan, 0)), 0);
+  for (const vertex_id v : d.graph().vertices()) {
+    if (d.unit_class(v) != cls || s.start[v.value()] < 0) continue;
+    for (long long c = s.start[v.value()]; c < s.start[v.value()] + d.graph().delay(v); ++c) {
+      if (c >= 0 && static_cast<std::size_t>(c) < profile.size())
+        ++profile[static_cast<std::size_t>(c)];
+    }
+  }
+  return profile;
+}
+
+int peak_usage(const ir::dfg& d, const schedule& s, ir::resource_class cls) {
+  const std::vector<int> profile = usage_profile(d, s, cls);
+  return profile.empty() ? 0 : *std::max_element(profile.begin(), profile.end());
+}
+
+void write_gantt(std::ostream& os, const ir::dfg& d, const schedule& s) {
+  std::vector<vertex_id> order = d.graph().vertices();
+  std::stable_sort(order.begin(), order.end(), [&s](vertex_id a, vertex_id b) {
+    return s.start[a.value()] < s.start[b.value()];
+  });
+  os << "cycle     ";
+  for (long long c = 0; c < s.makespan; ++c) os << (c % 10);
+  os << '\n';
+  for (const vertex_id v : order) {
+    if (s.start[v.value()] < 0) continue;
+    std::string row(static_cast<std::size_t>(s.makespan), '.');
+    for (long long c = s.start[v.value()];
+         c < s.start[v.value()] + d.graph().delay(v) && c < s.makespan; ++c)
+      row[static_cast<std::size_t>(c)] = '#';
+    std::string label(d.graph().name(v));
+    label.resize(8, ' ');
+    os << label << "  " << row;
+    if (s.unit.size() == d.graph().vertex_count() && s.unit[v.value()] >= 0)
+      os << "  u" << s.unit[v.value()];
+    os << '\n';
+  }
+}
+
+} // namespace softsched::hard

@@ -1,0 +1,48 @@
+// schedule.h - the *hard* schedule: the exact operation -> time-step
+// mapping traditional HLS produces directly, and which soft scheduling
+// delays until all information is in (Section 3). Used as the output
+// container of the baselines (list, force-directed) and of hard-schedule
+// extraction from a threaded state.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.h"
+
+namespace softsched::hard {
+
+using graph::vertex_id;
+
+/// Start cycle per operation (-1 = unscheduled) plus an optional unit
+/// binding per operation (-1 = unbound). An operation with delay d
+/// occupies cycles [start, start + d).
+struct schedule {
+  std::vector<long long> start;
+  std::vector<int> unit; ///< functional-unit instance (thread index) or -1
+  long long makespan = 0;
+
+  [[nodiscard]] bool complete(const ir::dfg& d) const;
+};
+
+/// Checks precedence feasibility and, when `resources` is non-null,
+/// class-wise concurrency limits (non-pipelined units; wire ops are
+/// dedicated and exempt). Returns human-readable violations; empty means
+/// the schedule is valid.
+[[nodiscard]] std::vector<std::string> validate_schedule(const ir::dfg& d,
+                                                         const schedule& s,
+                                                         const ir::resource_set* resources);
+
+/// Peak number of simultaneously busy units of a class.
+[[nodiscard]] int peak_usage(const ir::dfg& d, const schedule& s, ir::resource_class cls);
+
+/// Per-cycle busy-unit counts for a class, length = makespan.
+[[nodiscard]] std::vector<int> usage_profile(const ir::dfg& d, const schedule& s,
+                                             ir::resource_class cls);
+
+/// ASCII Gantt chart: one row per operation ordered by start cycle, showing
+/// the occupied interval - handy in the examples and for debugging.
+void write_gantt(std::ostream& os, const ir::dfg& d, const schedule& s);
+
+} // namespace softsched::hard

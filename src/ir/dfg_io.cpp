@@ -1,0 +1,156 @@
+#include "ir/dfg_io.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace softsched::ir {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw graph_error("dfg_io: line " + std::to_string(line) + ": " + message);
+}
+
+} // namespace
+
+op_kind parse_op_kind(const std::string& name) {
+  if (name == "add") return op_kind::add;
+  if (name == "sub") return op_kind::sub;
+  if (name == "mul") return op_kind::mul;
+  if (name == "compare") return op_kind::compare;
+  if (name == "load") return op_kind::load;
+  if (name == "store") return op_kind::store;
+  if (name == "move") return op_kind::move;
+  throw graph_error("dfg_io: unknown operation kind '" + name + "'");
+}
+
+dfg read_dfg(std::istream& in, const resource_library& library) {
+  std::string header_name = "unnamed";
+  std::map<std::string, vertex_id> by_name;
+  // Two-phase: we need the dfg's name before constructing it, so buffer
+  // parsed declarations first.
+  struct op_decl {
+    int line;
+    std::string name;
+    bool is_wire = false;
+    op_kind kind = op_kind::add;
+    int wire_delay = 1;
+    std::vector<std::string> inputs;
+  };
+  struct edge_decl {
+    int line;
+    std::string from, to;
+  };
+  std::vector<op_decl> ops;
+  std::vector<edge_decl> edges;
+
+  std::string line_text;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line_text)) {
+    ++line_no;
+    const std::size_t hash = line_text.find('#');
+    if (hash != std::string::npos) line_text.resize(hash);
+    std::istringstream tokens(line_text);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue; // blank/comment line
+
+    if (keyword == "dfg") {
+      if (saw_header) fail(line_no, "duplicate dfg header");
+      if (!(tokens >> header_name)) fail(line_no, "dfg header needs a name");
+      saw_header = true;
+    } else if (keyword == "op" || keyword == "wire") {
+      op_decl decl;
+      decl.line = line_no;
+      decl.is_wire = keyword == "wire";
+      if (!(tokens >> decl.name)) fail(line_no, "missing operation name");
+      if (decl.is_wire) {
+        if (!(tokens >> decl.wire_delay)) fail(line_no, "wire needs a delay");
+        if (decl.wire_delay < 1) fail(line_no, "wire delay must be >= 1");
+      } else {
+        std::string kind_name;
+        if (!(tokens >> kind_name)) fail(line_no, "missing operation kind");
+        try {
+          decl.kind = parse_op_kind(kind_name);
+        } catch (const graph_error&) {
+          fail(line_no, "unknown operation kind '" + kind_name + "'");
+        }
+      }
+      std::string input;
+      while (tokens >> input) decl.inputs.push_back(input);
+      ops.push_back(std::move(decl));
+    } else if (keyword == "edge") {
+      edge_decl decl;
+      decl.line = line_no;
+      if (!(tokens >> decl.from >> decl.to)) fail(line_no, "edge needs two operations");
+      edges.push_back(std::move(decl));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  dfg d(header_name, library);
+  for (const op_decl& decl : ops) {
+    if (by_name.count(decl.name) != 0) fail(decl.line, "duplicate operation '" + decl.name + "'");
+    std::vector<vertex_id> inputs;
+    for (const std::string& input : decl.inputs) {
+      const auto it = by_name.find(input);
+      if (it == by_name.end()) fail(decl.line, "undeclared operand '" + input + "'");
+      inputs.push_back(it->second);
+    }
+    const vertex_id v =
+        decl.is_wire
+            ? d.add_wire(decl.wire_delay, {}, decl.name)
+            : d.add_op(decl.kind, std::span<const vertex_id>(inputs), decl.name);
+    if (decl.is_wire) {
+      for (const vertex_id in : inputs) d.add_dependence(in, v);
+    }
+    by_name.emplace(decl.name, v);
+  }
+  for (const edge_decl& decl : edges) {
+    const auto from = by_name.find(decl.from);
+    const auto to = by_name.find(decl.to);
+    if (from == by_name.end()) fail(decl.line, "undeclared operation '" + decl.from + "'");
+    if (to == by_name.end()) fail(decl.line, "undeclared operation '" + decl.to + "'");
+    d.add_dependence(from->second, to->second);
+  }
+  d.validate();
+  return d;
+}
+
+dfg read_dfg_string(const std::string& text, const resource_library& library) {
+  std::istringstream in(text);
+  return read_dfg(in, library);
+}
+
+void write_dfg(std::ostream& out, const dfg& d) {
+  const auto& g = d.graph();
+  out << "dfg " << d.name() << '\n';
+  // Vertices in id order are topological for builder-produced graphs, but
+  // not necessarily after refinements (loads are appended after the
+  // consumers they feed). Emit ops in id order and defer every input
+  // reference to a vertex with a higher id to an explicit edge line.
+  std::vector<std::pair<vertex_id, vertex_id>> deferred;
+  for (const vertex_id v : g.vertices()) {
+    if (d.kind(v) == op_kind::wire)
+      out << "wire " << g.name(v) << ' ' << g.delay(v);
+    else
+      out << "op " << g.name(v) << ' ' << kind_name(d.kind(v));
+    for (const vertex_id p : g.preds(v)) {
+      if (p < v)
+        out << ' ' << g.name(p);
+      else
+        deferred.emplace_back(p, v);
+    }
+    out << '\n';
+  }
+  for (const auto& [from, to] : deferred)
+    out << "edge " << g.name(from) << ' ' << g.name(to) << '\n';
+}
+
+} // namespace softsched::ir

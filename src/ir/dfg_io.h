@@ -1,0 +1,39 @@
+// dfg_io.h - plain-text serialization of dataflow graphs, so benchmarks
+// can live as files and the CLI driver can consume user designs.
+//
+// Format (one declaration per line, '#' comments, blank lines ignored):
+//
+//     dfg <name>
+//     op <op-name> <kind> [<input-op> ...]     # kind: add|sub|mul|compare|
+//                                              #       load|store|move
+//     wire <op-name> <delay> [<input-op> ...]
+//     edge <from-op> <to-op>                   # extra dependence
+//
+// Operations must be declared before use (the format is topological by
+// construction); `edge` lines may appear anywhere after both endpoints.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/dfg.h"
+
+namespace softsched::ir {
+
+/// Parses the text format. Throws graph_error with a line-numbered message
+/// on malformed input (unknown kind, undeclared operand, duplicate name).
+[[nodiscard]] dfg read_dfg(std::istream& in, const resource_library& library);
+
+/// Convenience: parse from a string.
+[[nodiscard]] dfg read_dfg_string(const std::string& text, const resource_library& library);
+
+/// Writes d in the same format; read_dfg(write_dfg(d)) round-trips
+/// structure, names, kinds and wire delays.
+void write_dfg(std::ostream& out, const dfg& d);
+
+/// Kind name <-> op_kind helpers used by the format ("add", "mul", ...).
+/// parse_op_kind throws graph_error for unknown names (wire is handled by
+/// the dedicated `wire` declaration, not here).
+[[nodiscard]] op_kind parse_op_kind(const std::string& name);
+
+} // namespace softsched::ir

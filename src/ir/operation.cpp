@@ -1,0 +1,33 @@
+#include "ir/operation.h"
+
+namespace softsched::ir {
+
+std::string_view mnemonic(op_kind kind) noexcept {
+  switch (kind) {
+  case op_kind::add: return "+";
+  case op_kind::sub: return "-";
+  case op_kind::mul: return "*";
+  case op_kind::compare: return "<";
+  case op_kind::load: return "ld";
+  case op_kind::store: return "st";
+  case op_kind::move: return "mv";
+  case op_kind::wire: return "wd";
+  }
+  return "?";
+}
+
+std::string_view kind_name(op_kind kind) noexcept {
+  switch (kind) {
+  case op_kind::add: return "add";
+  case op_kind::sub: return "sub";
+  case op_kind::mul: return "mul";
+  case op_kind::compare: return "compare";
+  case op_kind::load: return "load";
+  case op_kind::store: return "store";
+  case op_kind::move: return "move";
+  case op_kind::wire: return "wire";
+  }
+  return "unknown";
+}
+
+} // namespace softsched::ir

@@ -1,0 +1,33 @@
+// operation.h - behavioural operation kinds of the HLS intermediate
+// representation. A dataflow-graph vertex is one operation; the kind decides
+// which functional-unit class may execute it and its default latency.
+#pragma once
+
+#include <string_view>
+
+namespace softsched::ir {
+
+/// Operation kinds found in the HLSynth-era benchmarks plus the refinement
+/// artifacts the paper's Section 1 scenarios introduce (spill stores/loads,
+/// register moves from SSA phi resolution, wire-delay pseudo-ops).
+enum class op_kind {
+  add,     ///< addition (ALU)
+  sub,     ///< subtraction (ALU)
+  mul,     ///< multiplication (multiplier)
+  compare, ///< relational compare (ALU)
+  load,    ///< spill reload from background memory (memory port)
+  store,   ///< spill store to background memory (memory port)
+  move,    ///< register-to-register move, e.g. resolved SSA phi (ALU)
+  wire,    ///< interconnect-delay pseudo operation (dedicated wire)
+};
+
+/// Short mnemonic ("+", "-", "*", "<", "ld", "st", "mv", "wd").
+[[nodiscard]] std::string_view mnemonic(op_kind kind) noexcept;
+
+/// Full name ("add", "sub", ...).
+[[nodiscard]] std::string_view kind_name(op_kind kind) noexcept;
+
+/// Number of distinct op kinds (for iteration in tests).
+inline constexpr int op_kind_count = 8;
+
+} // namespace softsched::ir

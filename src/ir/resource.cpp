@@ -1,0 +1,75 @@
+#include "ir/resource.h"
+
+#include "util/check.h"
+
+namespace softsched::ir {
+
+std::string_view class_name(resource_class cls) noexcept {
+  switch (cls) {
+  case resource_class::alu: return "alu";
+  case resource_class::multiplier: return "multiplier";
+  case resource_class::memory_port: return "memory_port";
+  case resource_class::wire: return "wire";
+  }
+  return "unknown";
+}
+
+resource_class class_of(op_kind kind) noexcept {
+  switch (kind) {
+  case op_kind::add:
+  case op_kind::sub:
+  case op_kind::compare:
+  case op_kind::move: return resource_class::alu;
+  case op_kind::mul: return resource_class::multiplier;
+  case op_kind::load:
+  case op_kind::store: return resource_class::memory_port;
+  case op_kind::wire: return resource_class::wire;
+  }
+  return resource_class::alu;
+}
+
+resource_library::resource_library() {
+  latency_[static_cast<int>(op_kind::add)] = 1;
+  latency_[static_cast<int>(op_kind::sub)] = 1;
+  latency_[static_cast<int>(op_kind::mul)] = 2;
+  latency_[static_cast<int>(op_kind::compare)] = 1;
+  latency_[static_cast<int>(op_kind::load)] = 1;
+  latency_[static_cast<int>(op_kind::store)] = 1;
+  latency_[static_cast<int>(op_kind::move)] = 1;
+  latency_[static_cast<int>(op_kind::wire)] = 1; // default; wire vertices override
+}
+
+int resource_library::latency(op_kind kind) const noexcept {
+  return latency_[static_cast<int>(kind)];
+}
+
+void resource_library::set_latency(op_kind kind, int cycles) {
+  SOFTSCHED_EXPECT(cycles >= 1, "operation latency must be at least one cycle");
+  latency_[static_cast<int>(kind)] = cycles;
+}
+
+int resource_set::count(resource_class cls) const noexcept {
+  switch (cls) {
+  case resource_class::alu: return alus;
+  case resource_class::multiplier: return multipliers;
+  case resource_class::memory_port: return memory_ports;
+  case resource_class::wire: return 0; // dedicated per-vertex, not pooled
+  }
+  return 0;
+}
+
+std::string resource_set::label() const {
+  return std::to_string(alus) + "+/-," + std::to_string(multipliers) + "*";
+}
+
+resource_set figure3_constraint(int index) {
+  // Column groups of Figure 3: "2+/-,2*", "4+/-,4*", "2+/-,1*".
+  switch (index) {
+  case 0: return resource_set{2, 2, 1};
+  case 1: return resource_set{4, 4, 1};
+  case 2: return resource_set{2, 1, 1};
+  default: throw precondition_error("figure3_constraint index must be 0..2");
+  }
+}
+
+} // namespace softsched::ir

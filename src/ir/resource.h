@@ -1,0 +1,62 @@
+// resource.h - the datapath resource model: functional-unit classes, the
+// op-kind -> class mapping, per-kind latencies, and resource constraint
+// sets like the paper's "2+/-,2*".
+//
+// In threaded scheduling each functional-unit *instance* becomes one thread
+// (Section 4.1: "each thread corresponds to one functional unit in the
+// datapath"), so a resource_set also describes a thread configuration.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ir/operation.h"
+
+namespace softsched::ir {
+
+/// Functional-unit classes. `wire` is the pseudo-class for interconnect
+/// delay vertices: each wire vertex occupies its own dedicated "unit"
+/// (wires are not shared), which the schedulers special-case.
+enum class resource_class { alu, multiplier, memory_port, wire };
+
+inline constexpr int resource_class_count = 4;
+
+[[nodiscard]] std::string_view class_name(resource_class cls) noexcept;
+
+/// The FU class that executes an operation kind.
+[[nodiscard]] resource_class class_of(op_kind kind) noexcept;
+
+/// Latency/compatibility library. Defaults follow the standard HLSynth
+/// convention the paper's numbers are consistent with: ALU ops (add, sub,
+/// compare, move) take 1 cycle, multiplication takes 2 cycles
+/// (non-pipelined), memory access takes 1 cycle; wire latency is
+/// per-vertex (set when the wire vertex is created).
+class resource_library {
+public:
+  resource_library();
+
+  [[nodiscard]] int latency(op_kind kind) const noexcept;
+  void set_latency(op_kind kind, int cycles);
+
+private:
+  std::array<int, op_kind_count> latency_;
+};
+
+/// A resource constraint: how many units of each class exist. This is what
+/// the Figure-3 column headers ("2+/-,2*" etc.) denote.
+struct resource_set {
+  int alus = 1;
+  int multipliers = 1;
+  int memory_ports = 1;
+
+  [[nodiscard]] int count(resource_class cls) const noexcept;
+
+  /// Paper-style label, e.g. "2+/-,2*".
+  [[nodiscard]] std::string label() const;
+};
+
+/// The three resource sets of the Figure 3 experiment.
+[[nodiscard]] resource_set figure3_constraint(int index);
+inline constexpr int figure3_constraint_count = 3;
+
+} // namespace softsched::ir

@@ -1,0 +1,89 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace softsched::lang {
+
+std::string token_kind_name(token_kind kind) {
+  switch (kind) {
+  case token_kind::identifier: return "identifier";
+  case token_kind::number: return "number";
+  case token_kind::assign: return "'='";
+  case token_kind::plus: return "'+'";
+  case token_kind::minus: return "'-'";
+  case token_kind::star: return "'*'";
+  case token_kind::less: return "'<'";
+  case token_kind::lparen: return "'('";
+  case token_kind::rparen: return "')'";
+  case token_kind::semicolon: return "';'";
+  case token_kind::end_of_input: return "end of input";
+  }
+  return "unknown";
+}
+
+std::vector<token> tokenize(const std::string& source) {
+  std::vector<token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '#') { // comment to end of line
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance();
+      continue;
+    }
+    token tok;
+    tok.line = line;
+    tok.column = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) != 0 || source[i] == '_'))
+        advance();
+      tok.kind = token_kind::identifier;
+      tok.text = source.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = i;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i])) != 0)
+        advance();
+      tok.kind = token_kind::number;
+      tok.text = source.substr(start, i - start);
+    } else {
+      switch (c) {
+      case '=': tok.kind = token_kind::assign; break;
+      case '+': tok.kind = token_kind::plus; break;
+      case '-': tok.kind = token_kind::minus; break;
+      case '*': tok.kind = token_kind::star; break;
+      case '<': tok.kind = token_kind::less; break;
+      case '(': tok.kind = token_kind::lparen; break;
+      case ')': tok.kind = token_kind::rparen; break;
+      case ';': tok.kind = token_kind::semicolon; break;
+      default:
+        throw parse_error("lex error at line " + std::to_string(line) + ", column " +
+                          std::to_string(column) + ": unexpected character '" +
+                          std::string(1, c) + "'");
+      }
+      tok.text = std::string(1, c);
+      advance();
+    }
+    tokens.push_back(std::move(tok));
+  }
+  tokens.push_back(token{token_kind::end_of_input, "", line, column});
+  return tokens;
+}
+
+} // namespace softsched::lang

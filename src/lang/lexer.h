@@ -1,0 +1,51 @@
+// lexer.h - tokenizer for the tiny behavioral input language the CLI and
+// tests feed into HLS, mirroring the style of the paper's own benchmark
+// sources (straight-line arithmetic blocks like the HAL diffeq body):
+//
+//     x1 = x + dx;
+//     u1 = u - 3*x*u*dx - 3*y*dx;
+//     y1 = y + u*dx;
+//     c  = x1 < a;
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace softsched::lang {
+
+/// Raised for both lexical and syntactic errors, with line/column context.
+class parse_error : public std::runtime_error {
+public:
+  explicit parse_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class token_kind {
+  identifier,
+  number,
+  assign,     // =
+  plus,       // +
+  minus,      // -
+  star,       // *
+  less,       // <
+  lparen,     // (
+  rparen,     // )
+  semicolon,  // ;
+  end_of_input,
+};
+
+[[nodiscard]] std::string token_kind_name(token_kind kind);
+
+struct token {
+  token_kind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input. '#' starts a comment to end of line. Throws
+/// parse_error on unexpected characters. The final token is end_of_input.
+[[nodiscard]] std::vector<token> tokenize(const std::string& source);
+
+} // namespace softsched::lang

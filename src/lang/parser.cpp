@@ -1,0 +1,134 @@
+#include "lang/parser.h"
+
+#include <map>
+#include <optional>
+
+namespace softsched::lang {
+
+namespace {
+
+using ir::op_kind;
+using ir::vertex_id;
+
+/// An expression value: either a DFG operation, or a free input (an
+/// identifier/literal with no producing op).
+struct value {
+  std::optional<vertex_id> op; ///< empty for free inputs
+};
+
+class parser {
+public:
+  parser(const std::string& source, std::string name, const ir::resource_library& library)
+      : tokens_(tokenize(source)), dfg_(std::move(name), library) {}
+
+  ir::dfg run() {
+    while (!at(token_kind::end_of_input)) statement();
+    dfg_.validate();
+    return std::move(dfg_);
+  }
+
+private:
+  [[nodiscard]] const token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(token_kind kind) const { return peek().kind == kind; }
+
+  token expect(token_kind kind) {
+    if (!at(kind)) {
+      throw parse_error("parse error at line " + std::to_string(peek().line) +
+                        ", column " + std::to_string(peek().column) + ": expected " +
+                        token_kind_name(kind) + ", found " +
+                        token_kind_name(peek().kind) +
+                        (peek().text.empty() ? "" : " '" + peek().text + "'"));
+    }
+    return tokens_[pos_++];
+  }
+
+  void statement() {
+    const token dest = expect(token_kind::identifier);
+    expect(token_kind::assign);
+    dest_ = dest.text;
+    temp_counter_ = 0;
+    const value result = comparison();
+    expect(token_kind::semicolon);
+    if (!result.op.has_value()) {
+      throw parse_error("line " + std::to_string(dest.line) + ": statement '" +
+                        dest.text + "' computes nothing (bare operand)");
+    }
+    // The statement's root op carries the destination name.
+    dfg_.graph().set_name(*result.op, dest.text);
+    defined_[dest.text] = *result.op;
+  }
+
+  value comparison() {
+    value lhs = additive();
+    if (at(token_kind::less)) {
+      expect(token_kind::less);
+      const value rhs = additive();
+      return emit(op_kind::compare, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  value additive() {
+    value lhs = term();
+    while (at(token_kind::plus) || at(token_kind::minus)) {
+      const bool is_plus = at(token_kind::plus);
+      ++pos_;
+      const value rhs = term();
+      lhs = emit(is_plus ? op_kind::add : op_kind::sub, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  value term() {
+    value lhs = factor();
+    while (at(token_kind::star)) {
+      expect(token_kind::star);
+      const value rhs = factor();
+      lhs = emit(op_kind::mul, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  value factor() {
+    if (at(token_kind::identifier)) {
+      const token name = expect(token_kind::identifier);
+      const auto it = defined_.find(name.text);
+      if (it != defined_.end()) return value{it->second}; // a computed value
+      return value{};                                     // a free primary input
+    }
+    if (at(token_kind::number)) {
+      expect(token_kind::number);
+      return value{}; // constants are free inputs too
+    }
+    expect(token_kind::lparen);
+    const value inner = comparison();
+    expect(token_kind::rparen);
+    return inner;
+  }
+
+  value emit(op_kind kind, const value& lhs, const value& rhs) {
+    std::vector<vertex_id> inputs;
+    if (lhs.op.has_value()) inputs.push_back(*lhs.op);
+    if (rhs.op.has_value()) inputs.push_back(*rhs.op);
+    std::string name = dest_;
+    name += "_t";
+    name += std::to_string(++temp_counter_);
+    return value{dfg_.add_op(kind, std::span<const vertex_id>(inputs), std::move(name))};
+  }
+
+  std::vector<token> tokens_;
+  std::size_t pos_ = 0;
+  ir::dfg dfg_;
+  std::map<std::string, vertex_id> defined_;
+  std::string dest_;
+  int temp_counter_ = 0;
+};
+
+} // namespace
+
+ir::dfg compile_behavior(const std::string& source, std::string name,
+                         const ir::resource_library& library) {
+  return parser(source, std::move(name), library).run();
+}
+
+} // namespace softsched::lang

@@ -1,0 +1,33 @@
+// parser.h - recursive-descent front-end turning a behavioral block into a
+// dataflow graph. Each binary operation becomes one DFG vertex; plain
+// identifiers and literals are free primary inputs (they live in registers
+// or are constants - no operation needed). Assignments define values that
+// later statements may reference; redefinition shadows (single-assignment
+// per name is recommended but not required).
+//
+// Grammar:
+//   block      := statement*
+//   statement  := identifier '=' comparison ';'
+//   comparison := additive ('<' additive)?
+//   additive   := term (('+' | '-') term)*
+//   term       := factor ('*' factor)*
+//   factor     := identifier | number | '(' comparison ')'
+#pragma once
+
+#include <string>
+
+#include "ir/dfg.h"
+#include "lang/lexer.h"
+
+namespace softsched::lang {
+
+/// Compiles a behavioral block into a DFG named `name`. The root operation
+/// of each statement is named after the assigned identifier; intermediate
+/// operations get derived names ("<dest>_t<N>"). Throws parse_error on
+/// syntax errors; a statement whose right-hand side is a bare identifier
+/// or literal (no operation) is also rejected - there is nothing to
+/// schedule for it.
+[[nodiscard]] ir::dfg compile_behavior(const std::string& source, std::string name,
+                                       const ir::resource_library& library);
+
+} // namespace softsched::lang

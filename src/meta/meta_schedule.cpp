@@ -1,0 +1,78 @@
+#include "meta/meta_schedule.h"
+
+#include <queue>
+#include <tuple>
+
+#include "graph/distances.h"
+#include "graph/topo.h"
+#include "util/check.h"
+
+namespace softsched::meta {
+
+std::string_view meta_name(meta_kind kind) noexcept {
+  switch (kind) {
+  case meta_kind::depth_first: return "meta sched1";
+  case meta_kind::topological: return "meta sched2";
+  case meta_kind::path_based: return "meta sched3";
+  case meta_kind::list_priority: return "meta sched4";
+  case meta_kind::random: return "random";
+  }
+  return "unknown";
+}
+
+std::vector<vertex_id> list_priority_order(const precedence_graph& g) {
+  const graph::distance_labels labels = graph::compute_distances(g);
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> in_degree(n);
+  for (const vertex_id v : g.vertices()) in_degree[v.value()] = g.preds(v).size();
+
+  // Max-heap on (sink distance, then lowest id) - the classic critical-path
+  // list scheduling priority.
+  using entry = std::tuple<long long, std::uint32_t>;
+  auto cmp = [](const entry& a, const entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<entry, std::vector<entry>, decltype(cmp)> ready(cmp);
+  for (std::size_t i = 0; i < n; ++i)
+    if (in_degree[i] == 0)
+      ready.emplace(labels.tdist[i], static_cast<std::uint32_t>(i));
+
+  std::vector<vertex_id> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const vertex_id u(std::get<1>(ready.top()));
+    ready.pop();
+    order.push_back(u);
+    for (const vertex_id w : g.succs(u))
+      if (--in_degree[w.value()] == 0) ready.emplace(labels.tdist[w.value()], w.value());
+  }
+  if (order.size() != n) throw graph_error("list_priority_order: graph contains a cycle");
+  return order;
+}
+
+std::vector<vertex_id> meta_schedule(const precedence_graph& g, meta_kind kind) {
+  switch (kind) {
+  case meta_kind::depth_first: return graph::depth_first_order(g);
+  case meta_kind::topological: return graph::topological_order(g);
+  case meta_kind::path_based: {
+    std::vector<vertex_id> order;
+    order.reserve(g.vertex_count());
+    for (const auto& path : graph::path_partition(g))
+      order.insert(order.end(), path.begin(), path.end());
+    return order;
+  }
+  case meta_kind::list_priority: return list_priority_order(g);
+  case meta_kind::random:
+    throw precondition_error("random meta schedule needs an rng; call random_meta_schedule");
+  }
+  throw precondition_error("unknown meta schedule kind");
+}
+
+std::vector<vertex_id> random_meta_schedule(const precedence_graph& g, rng& rand) {
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  return order;
+}
+
+} // namespace softsched::meta

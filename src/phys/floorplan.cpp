@@ -1,0 +1,45 @@
+#include "phys/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace softsched::phys {
+
+floorplan::floorplan(int unit_count, int columns, int pitch) {
+  SOFTSCHED_EXPECT(unit_count >= 1, "floorplan needs at least one unit");
+  SOFTSCHED_EXPECT(columns >= 1, "floorplan needs at least one column");
+  SOFTSCHED_EXPECT(pitch >= 1, "pitch must be positive");
+  pos_.reserve(static_cast<std::size_t>(unit_count));
+  for (int u = 0; u < unit_count; ++u) {
+    pos_.push_back(block_position{(u % columns) * pitch, (u / columns) * pitch});
+  }
+}
+
+block_position floorplan::position(int unit) const {
+  SOFTSCHED_EXPECT(unit >= 0 && unit < unit_count(), "unit index out of range");
+  return pos_[static_cast<std::size_t>(unit)];
+}
+
+int floorplan::distance(int unit_a, int unit_b) const {
+  const block_position a = position(unit_a);
+  const block_position b = position(unit_b);
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+int floorplan::diameter() const {
+  int best = 0;
+  for (int a = 0; a < unit_count(); ++a)
+    for (int b = a + 1; b < unit_count(); ++b) best = std::max(best, distance(a, b));
+  return best;
+}
+
+floorplan floorplan_for(const ir::resource_set& resources) {
+  const int units = resources.alus + resources.multipliers + resources.memory_ports;
+  const int columns = std::max(1, static_cast<int>(std::ceil(std::sqrt(units))));
+  return floorplan(units, columns);
+}
+
+} // namespace softsched::phys

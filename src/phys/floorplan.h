@@ -1,0 +1,49 @@
+// floorplan.h - the simulated physical-design substrate. The paper's
+// second phase-coupling scenario needs interconnect delays that "can be
+// determined only after place and route"; we stand in for the P&R tool
+// with a deterministic grid floorplanner over the functional-unit
+// instances (= threads of the threaded schedule), from which Manhattan
+// distances and wire delays follow.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ir/resource.h"
+
+namespace softsched::phys {
+
+/// Grid coordinates of one placed block (functional unit).
+struct block_position {
+  int x = 0;
+  int y = 0;
+};
+
+/// A placed datapath: position per functional-unit instance, indexed the
+/// same way the HLS thread binding indexes threads (ALUs first, then
+/// multipliers, then memory ports).
+class floorplan {
+public:
+  /// Places `unit_count` unit blocks row-major on a grid `columns` wide.
+  /// Units are spread apart by `pitch` grid units (multiplier blocks are
+  /// physically large; a coarse pitch models routing detours).
+  floorplan(int unit_count, int columns, int pitch = 2);
+
+  [[nodiscard]] int unit_count() const noexcept { return static_cast<int>(pos_.size()); }
+  [[nodiscard]] block_position position(int unit) const;
+
+  /// Manhattan distance between two unit blocks, in grid units.
+  [[nodiscard]] int distance(int unit_a, int unit_b) const;
+
+  /// Largest pairwise distance on the die.
+  [[nodiscard]] int diameter() const;
+
+private:
+  std::vector<block_position> pos_;
+};
+
+/// Convenience: floorplan for a resource set (one block per unit instance,
+/// in thread-index order), using a near-square aspect ratio.
+[[nodiscard]] floorplan floorplan_for(const ir::resource_set& resources);
+
+} // namespace softsched::phys

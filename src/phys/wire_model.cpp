@@ -1,0 +1,37 @@
+#include "phys/wire_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace softsched::phys {
+
+int wire_model::wire_cycles(int distance) const {
+  SOFTSCHED_EXPECT(distance >= 0, "distance must be non-negative");
+  if (distance <= free_distance) return 0;
+  return static_cast<int>(
+      std::ceil(static_cast<double>(distance - free_distance) * cycles_per_unit));
+}
+
+std::vector<wire_insertion> plan_wire_insertions(const ir::dfg& d,
+                                                 const hard::schedule& bound,
+                                                 const floorplan& plan,
+                                                 const wire_model& model) {
+  const auto& g = d.graph();
+  SOFTSCHED_EXPECT(bound.unit.size() == g.vertex_count(),
+                   "wire planning needs a unit-bound schedule");
+  std::vector<wire_insertion> insertions;
+  for (const vertex_id from : g.vertices()) {
+    const int u_from = bound.unit[from.value()];
+    if (u_from < 0) continue; // unbound (e.g. wire pseudo-op): no block
+    for (const vertex_id to : g.succs(from)) {
+      const int u_to = bound.unit[to.value()];
+      if (u_to < 0 || u_from == u_to) continue;
+      const int cycles = model.wire_cycles(plan.distance(u_from, u_to));
+      if (cycles > 0) insertions.push_back(wire_insertion{from, to, cycles});
+    }
+  }
+  return insertions;
+}
+
+} // namespace softsched::phys

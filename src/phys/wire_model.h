@@ -1,0 +1,44 @@
+// wire_model.h - interconnect delay estimation over a floorplan, and the
+// planner that decides which data transfers of a bound schedule need a
+// wire-delay vertex inserted ("if the register ... is placed far enough
+// from the functional unit which uses its value, additional node
+// representing the wire delay has to be introduced").
+#pragma once
+
+#include <vector>
+
+#include "hard/schedule.h"
+#include "ir/dfg.h"
+#include "phys/floorplan.h"
+
+namespace softsched::phys {
+
+using graph::vertex_id;
+
+/// Linear wire-delay model: transfers over Manhattan distance
+/// <= free_distance are absorbed in the producer's cycle; longer ones take
+/// ceil((distance - free_distance) * cycles_per_unit) extra cycles.
+struct wire_model {
+  int free_distance = 2;
+  double cycles_per_unit = 0.5;
+
+  [[nodiscard]] int wire_cycles(int distance) const;
+};
+
+/// One producer -> consumer transfer that needs a wire-delay vertex.
+struct wire_insertion {
+  vertex_id from;
+  vertex_id to;
+  int delay = 1;
+};
+
+/// Scans every data edge of a *bound* schedule (unit binding = thread
+/// index, e.g. from hard::extract_schedule) and returns the transfers
+/// whose source/destination blocks are far enough apart to need wire
+/// vertices. Deterministic edge order (by vertex id).
+[[nodiscard]] std::vector<wire_insertion> plan_wire_insertions(const ir::dfg& d,
+                                                               const hard::schedule& bound,
+                                                               const floorplan& plan,
+                                                               const wire_model& model);
+
+} // namespace softsched::phys

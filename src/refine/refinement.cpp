@@ -1,0 +1,112 @@
+#include "refine/refinement.h"
+
+#include <string>
+
+#include "core/hls_binding.h"
+#include "util/check.h"
+
+namespace softsched::refine {
+
+namespace {
+
+std::string derived_name(const ir::dfg& d, vertex_id base, const char* prefix) {
+  std::string name(prefix);
+  name += '_';
+  name += d.graph().name(base);
+  return name;
+}
+
+} // namespace
+
+std::vector<vertex_id> insert_spill_ops(ir::dfg& d, vertex_id value) {
+  auto& g = d.graph();
+  g.require_vertex(value);
+  SOFTSCHED_EXPECT(d.kind(value) != ir::op_kind::store, "cannot spill a store result");
+  SOFTSCHED_EXPECT(!g.succs(value).empty(), "spilling a value nobody consumes is pointless");
+
+  std::vector<vertex_id> inserted;
+  const vertex_id st =
+      d.add_op(ir::op_kind::store, {value}, derived_name(d, value, "st"));
+  inserted.push_back(st);
+
+  // Snapshot the consumers before rewiring (the span invalidates on edits).
+  std::vector<vertex_id> consumers;
+  for (const vertex_id c : g.succs(value))
+    if (c != st) consumers.push_back(c);
+
+  for (const vertex_id c : consumers) {
+    g.remove_edge(value, c);
+    const vertex_id ld = d.add_op(ir::op_kind::load, {st}, derived_name(d, c, "ld"));
+    g.add_edge(ld, c);
+    inserted.push_back(ld);
+  }
+  return inserted;
+}
+
+vertex_id insert_wire_op(ir::dfg& d, vertex_id from, vertex_id to, int delay) {
+  auto& g = d.graph();
+  SOFTSCHED_EXPECT(g.has_edge(from, to), "wire refinement needs an existing dependence");
+  g.remove_edge(from, to);
+  const vertex_id wd = d.add_wire(delay, {from}, derived_name(d, to, "wd"));
+  g.add_edge(wd, to);
+  return wd;
+}
+
+vertex_id insert_move_op(ir::dfg& d, vertex_id from, vertex_id to) {
+  auto& g = d.graph();
+  SOFTSCHED_EXPECT(g.has_edge(from, to), "move refinement needs an existing dependence");
+  g.remove_edge(from, to);
+  const vertex_id mv = d.add_op(ir::op_kind::move, {from}, derived_name(d, to, "mv"));
+  g.add_edge(mv, to);
+  return mv;
+}
+
+refinement_report apply_spill(ir::dfg& d, core::threaded_graph& state, vertex_id value) {
+  SOFTSCHED_EXPECT(state.scheduled(value), "spill refinement targets a scheduled value");
+  refinement_report report;
+  report.diameter_before = state.diameter();
+  const std::vector<vertex_id> inserted = insert_spill_ops(d, value);
+  for (const vertex_id v : inserted) state.schedule(v);
+  report.ops_inserted = inserted.size();
+  report.diameter_after = state.diameter();
+  return report;
+}
+
+refinement_report apply_wire_delay(ir::dfg& d, core::threaded_graph& state,
+                                   vertex_id from, vertex_id to, int delay) {
+  refinement_report report;
+  report.diameter_before = state.diameter();
+  const vertex_id wd = insert_wire_op(d, from, to, delay);
+  core::add_wire_thread(state, wd);
+  state.schedule(wd);
+  report.ops_inserted = 1;
+  report.diameter_after = state.diameter();
+  return report;
+}
+
+refinement_report apply_wire_insertions(ir::dfg& d, core::threaded_graph& state,
+                                        const std::vector<phys::wire_insertion>& plan) {
+  refinement_report report;
+  report.diameter_before = state.diameter();
+  for (const phys::wire_insertion& w : plan) {
+    const vertex_id wd = insert_wire_op(d, w.from, w.to, w.delay);
+    core::add_wire_thread(state, wd);
+    state.schedule(wd);
+    ++report.ops_inserted;
+  }
+  report.diameter_after = state.diameter();
+  return report;
+}
+
+refinement_report apply_register_move(ir::dfg& d, core::threaded_graph& state,
+                                      vertex_id from, vertex_id to) {
+  refinement_report report;
+  report.diameter_before = state.diameter();
+  const vertex_id mv = insert_move_op(d, from, to);
+  state.schedule(mv);
+  report.ops_inserted = 1;
+  report.diameter_after = state.diameter();
+  return report;
+}
+
+} // namespace softsched::refine

@@ -1,0 +1,73 @@
+// refinement.h - the soft-scheduling payoff: refining a *live* threaded
+// schedule when later design phases change the behaviour, instead of
+// iterating the whole flow. Three refinements from the paper's Section 1
+// scenarios are implemented:
+//
+//   * spill code       - store/load pairs around a value pushed to memory
+//                        (register-allocation coupling, Figure 1 (c)),
+//   * wire delay       - interconnect-delay vertices on long transfers
+//                        (physical-design coupling, Figure 1 (d)),
+//   * register moves   - SSA phi nodes resolved to explicit moves.
+//
+// Every refinement mutates the DFG *and* schedules the new vertices into
+// the existing threaded state online - the already committed soft
+// decisions stay; only the partial order is tightened. The comparison
+// flow (hard_reschedule) reruns the list scheduler from scratch on the
+// refined DFG, which is what a traditional hard flow must do.
+#pragma once
+
+#include <vector>
+
+#include "core/threaded_graph.h"
+#include "ir/dfg.h"
+#include "phys/wire_model.h"
+
+namespace softsched::refine {
+
+using graph::vertex_id;
+
+/// Outcome of one refinement applied to a threaded state.
+struct refinement_report {
+  long long diameter_before = 0;
+  long long diameter_after = 0;
+  std::size_t ops_inserted = 0;
+
+  [[nodiscard]] long long stretch() const noexcept {
+    return diameter_after - diameter_before;
+  }
+};
+
+/// Spills the value produced by `value`: inserts one store after it and
+/// one load in front of every consumer, rewiring the dependences; each new
+/// memory operation is scheduled online into `state` (memory-port
+/// threads). `value` must already be scheduled and must not be a store.
+refinement_report apply_spill(ir::dfg& d, core::threaded_graph& state, vertex_id value);
+
+/// Inserts a wire-delay vertex of `delay` cycles on the dependence
+/// from -> to (which must exist) and schedules it into a dedicated wire
+/// thread.
+refinement_report apply_wire_delay(ir::dfg& d, core::threaded_graph& state,
+                                   vertex_id from, vertex_id to, int delay);
+
+/// Applies a batch of planned wire insertions (phys::plan_wire_insertions).
+refinement_report apply_wire_insertions(ir::dfg& d, core::threaded_graph& state,
+                                        const std::vector<phys::wire_insertion>& plan);
+
+/// Resolves an SSA phi into an explicit register move on the dependence
+/// from -> to and schedules it (ALU threads).
+refinement_report apply_register_move(ir::dfg& d, core::threaded_graph& state,
+                                      vertex_id from, vertex_id to);
+
+// -- pure-DFG variants (for the hard-flow comparison) ----------------------
+
+/// Same DFG mutation as apply_spill, without touching any schedule.
+/// Returns the inserted (store, loads...) vertices.
+std::vector<vertex_id> insert_spill_ops(ir::dfg& d, vertex_id value);
+
+/// Same DFG mutation as apply_wire_delay. Returns the wire vertex.
+vertex_id insert_wire_op(ir::dfg& d, vertex_id from, vertex_id to, int delay);
+
+/// Same DFG mutation as apply_register_move. Returns the move vertex.
+vertex_id insert_move_op(ir::dfg& d, vertex_id from, vertex_id to);
+
+} // namespace softsched::refine

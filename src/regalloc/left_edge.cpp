@@ -1,0 +1,40 @@
+#include "regalloc/left_edge.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace softsched::regalloc {
+
+register_binding left_edge_allocate(const std::vector<value_lifetime>& lifetimes) {
+  register_binding binding;
+  binding.reg.assign(lifetimes.size(), -1);
+
+  // Process values by ascending definition time (the "left edge").
+  std::vector<std::size_t> order(lifetimes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&lifetimes](std::size_t a, std::size_t b) {
+    if (lifetimes[a].def != lifetimes[b].def) return lifetimes[a].def < lifetimes[b].def;
+    return lifetimes[a].last_use < lifetimes[b].last_use;
+  });
+
+  std::vector<long long> register_free; // per register: cycle it frees up
+  for (const std::size_t i : order) {
+    int chosen = -1;
+    for (std::size_t r = 0; r < register_free.size(); ++r) {
+      if (register_free[r] <= lifetimes[i].def) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(register_free.size());
+      register_free.push_back(0);
+    }
+    register_free[static_cast<std::size_t>(chosen)] = lifetimes[i].last_use;
+    binding.reg[i] = chosen;
+  }
+  binding.register_count = static_cast<int>(register_free.size());
+  return binding;
+}
+
+} // namespace softsched::regalloc

@@ -1,0 +1,24 @@
+// left_edge.h - the classic left-edge register binding: optimal for
+// interval (lifetime) graphs, assigning each value the lowest-numbered
+// register free at its definition.
+#pragma once
+
+#include <vector>
+
+#include "regalloc/lifetime.h"
+
+namespace softsched::regalloc {
+
+/// Register binding: register index per value (parallel to the lifetime
+/// vector) and the total register count used.
+struct register_binding {
+  std::vector<int> reg;
+  int register_count = 0;
+};
+
+/// Left-edge allocation over non-overlapping reuse. The result uses
+/// exactly max_live(lifetimes) registers (optimality of left-edge on
+/// interval graphs), which the tests assert.
+[[nodiscard]] register_binding left_edge_allocate(const std::vector<value_lifetime>& lifetimes);
+
+} // namespace softsched::regalloc

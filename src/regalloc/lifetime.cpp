@@ -1,0 +1,63 @@
+#include "regalloc/lifetime.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace softsched::regalloc {
+
+std::vector<value_lifetime> compute_lifetimes(const ir::dfg& d, const hard::schedule& s) {
+  SOFTSCHED_EXPECT(s.complete(d), "lifetimes need a complete schedule");
+  const auto& g = d.graph();
+  std::vector<value_lifetime> lifetimes;
+  for (const vertex_id v : g.vertices()) {
+    if (d.kind(v) == ir::op_kind::store) continue; // result lives in memory
+    value_lifetime lt;
+    lt.producer = v;
+    lt.def = s.start[v.value()] + g.delay(v);
+    long long last = lt.def;
+    // Primary outputs are handed to the environment the cycle they are
+    // produced (last = def, clamped to one cycle below); consumed values
+    // live until their last consumer starts.
+    for (const vertex_id c : g.succs(v)) last = std::max(last, s.start[c.value()]);
+    // A value consumed the cycle it is produced (chaining) still occupies
+    // its register for that cycle.
+    lt.last_use = std::max(last, lt.def + 1);
+    lifetimes.push_back(lt);
+  }
+  return lifetimes;
+}
+
+int max_live(const std::vector<value_lifetime>& lifetimes) {
+  // Sweep over interval endpoints.
+  std::vector<std::pair<long long, int>> events;
+  events.reserve(lifetimes.size() * 2);
+  for (const value_lifetime& lt : lifetimes) {
+    events.emplace_back(lt.def, +1);
+    events.emplace_back(lt.last_use, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int live = 0;
+  int peak = 0;
+  for (const auto& [cycle, delta] : events) {
+    live += delta;
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+long long peak_cycle(const std::vector<value_lifetime>& lifetimes) {
+  if (lifetimes.empty()) return -1;
+  const int target = max_live(lifetimes);
+  long long horizon = 0;
+  for (const value_lifetime& lt : lifetimes) horizon = std::max(horizon, lt.last_use);
+  for (long long c = 0; c < horizon; ++c) {
+    int live = 0;
+    for (const value_lifetime& lt : lifetimes)
+      if (lt.alive_at(c)) ++live;
+    if (live == target) return c;
+  }
+  return -1;
+}
+
+} // namespace softsched::regalloc

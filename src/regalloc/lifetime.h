@@ -1,0 +1,44 @@
+// lifetime.h - value lifetimes over a hard schedule. The register
+// allocation substrate of the paper's first phase-coupling scenario:
+// "traditional HLS assumes all values can be fit into registers ...
+// spilling has to be performed when the number of simultaneously alive
+// values exceeds the number of registers available."
+#pragma once
+
+#include <vector>
+
+#include "hard/schedule.h"
+#include "ir/dfg.h"
+
+namespace softsched::regalloc {
+
+using graph::vertex_id;
+
+/// One value = the result of one operation, alive from the cycle it is
+/// produced until the start of its last consumer; primary outputs are
+/// handed to the environment the cycle they are produced (one-cycle
+/// lifetime).
+struct value_lifetime {
+  vertex_id producer;
+  long long def = 0;      ///< first cycle the value exists (start + delay)
+  long long last_use = 0; ///< exclusive end of the interval
+
+  [[nodiscard]] long long length() const noexcept { return last_use - def; }
+  [[nodiscard]] bool alive_at(long long cycle) const noexcept {
+    return cycle >= def && cycle < last_use;
+  }
+};
+
+/// Lifetimes of all values under a complete schedule. Store operations
+/// produce no register value (their result lives in background memory) and
+/// are skipped. Throws precondition_error on incomplete schedules.
+[[nodiscard]] std::vector<value_lifetime> compute_lifetimes(const ir::dfg& d,
+                                                            const hard::schedule& s);
+
+/// Maximum number of simultaneously alive values (the register demand).
+[[nodiscard]] int max_live(const std::vector<value_lifetime>& lifetimes);
+
+/// A cycle at which max_live is attained (-1 when there are no values).
+[[nodiscard]] long long peak_cycle(const std::vector<value_lifetime>& lifetimes);
+
+} // namespace softsched::regalloc

@@ -1,0 +1,65 @@
+#include "regalloc/spill.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace softsched::regalloc {
+
+namespace {
+
+bool spillable(const ir::dfg& d, const value_lifetime& lt) {
+  return d.kind(lt.producer) != ir::op_kind::load &&
+         !d.graph().succs(lt.producer).empty() && lt.length() > 1;
+}
+
+} // namespace
+
+int min_spillable_demand(const ir::dfg& d, const std::vector<value_lifetime>& lifetimes) {
+  std::vector<value_lifetime> shrunk = lifetimes;
+  for (value_lifetime& lt : shrunk)
+    if (spillable(d, lt)) lt.last_use = lt.def + 1;
+  return max_live(shrunk);
+}
+
+spill_plan choose_spills(const ir::dfg& d, const std::vector<value_lifetime>& lifetimes,
+                         int register_budget) {
+  SOFTSCHED_EXPECT(register_budget >= 1, "register budget must be at least 1");
+  spill_plan plan;
+  std::vector<value_lifetime> remaining = lifetimes;
+  std::vector<bool> already_spilled(lifetimes.size(), false);
+
+  while (max_live(remaining) > register_budget) {
+    const long long peak = peak_cycle(remaining);
+    // Among values alive at the peak, pick the one with the longest
+    // remaining lifetime; ties by lowest producer id for determinism.
+    // Reload results and values already spilled (their interval is the
+    // one-cycle minimum - spilling again cannot reduce pressure) are
+    // ineligible.
+    std::size_t best = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (!remaining[i].alive_at(peak) || already_spilled[i]) continue;
+      if (!spillable(d, remaining[i])) continue;
+      if (best == remaining.size() ||
+          remaining[i].last_use - peak > remaining[best].last_use - peak ||
+          (remaining[i].last_use == remaining[best].last_use &&
+           remaining[i].producer < remaining[best].producer)) {
+        best = i;
+      }
+    }
+    if (best == remaining.size()) {
+      throw infeasible_error(
+          "register pressure cannot be reduced below " +
+          std::to_string(max_live(remaining)) +
+          ": every value alive at the peak is a reload or already spilled");
+    }
+    plan.values.push_back(remaining[best].producer);
+    already_spilled[best] = true;
+    // After spilling, the value occupies its register only in the cycle it
+    // is produced (it goes straight to memory) - shrink the interval.
+    remaining[best].last_use = remaining[best].def + 1;
+  }
+  return plan;
+}
+
+} // namespace softsched::regalloc

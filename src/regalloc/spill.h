@@ -1,0 +1,41 @@
+// spill.h - spill-candidate selection: which values to push to background
+// memory when register demand exceeds the budget. The selected candidates
+// feed the refinement engine (refine/refinement.h), which inserts the
+// store/load operations into the DFG and - in the soft flow - into the
+// live threaded schedule.
+#pragma once
+
+#include <vector>
+
+#include "regalloc/lifetime.h"
+
+namespace softsched::regalloc {
+
+/// Values chosen for spilling, in selection order.
+struct spill_plan {
+  std::vector<vertex_id> values;
+};
+
+/// Greedy Belady-style selection: while demand exceeds the budget, at a
+/// pressure peak spill the alive value with the longest remaining
+/// lifetime (it frees a register for the longest stretch). A spilled
+/// value's interval shrinks to the single cycle it is produced in (it
+/// goes straight to memory). Reload results, primary outputs and values
+/// that already live only one cycle cannot be spilled.
+///
+/// Feasibility is exact: the plan succeeds iff
+/// register_budget >= min_spillable_demand(d, lifetimes); otherwise
+/// infeasible_error is thrown. Returns an empty plan when the budget
+/// already suffices. Throws precondition_error for budget < 1.
+[[nodiscard]] spill_plan choose_spills(const ir::dfg& d,
+                                       const std::vector<value_lifetime>& lifetimes,
+                                       int register_budget);
+
+/// The register demand that remains if *every* spillable value is pushed
+/// to memory - the exact lower bound on what choose_spills can reach
+/// (pressure from reloads, outputs, one-cycle chained values, and the
+/// unavoidable production cycle of each spilled value).
+[[nodiscard]] int min_spillable_demand(const ir::dfg& d,
+                                       const std::vector<value_lifetime>& lifetimes);
+
+} // namespace softsched::regalloc

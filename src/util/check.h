@@ -1,0 +1,47 @@
+// check.h - lightweight contract-checking helpers.
+//
+// The library uses exceptions for *user-facing* precondition violations
+// (malformed graphs, out-of-range ids, infeasible constraints) so that a
+// downstream tool embedding the scheduler can recover, and keeps internal
+// invariants as assertions that also fire in release builds (EDA runs are
+// long; silent corruption is worse than an abort).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace softsched {
+
+/// Thrown when a caller violates a documented precondition of the public API.
+class precondition_error : public std::logic_error {
+public:
+  explicit precondition_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an input graph is structurally invalid (e.g. cyclic).
+class graph_error : public std::runtime_error {
+public:
+  explicit graph_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a scheduling problem is infeasible under the given resources.
+class infeasible_error : public std::runtime_error {
+public:
+  explicit infeasible_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  throw precondition_error(std::string(file) + ":" + std::to_string(line) +
+                           ": precondition failed: " + expr + (msg.empty() ? "" : " - " + msg));
+}
+} // namespace detail
+
+} // namespace softsched
+
+/// Precondition check that throws softsched::precondition_error on failure.
+#define SOFTSCHED_EXPECT(expr, msg)                                                    \
+  do {                                                                                 \
+    if (!(expr)) ::softsched::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,47 @@
+// rng.h - deterministic pseudo-random number generation for tests, benches
+// and workload generators. All randomness in the repository flows through
+// this class so results are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace softsched {
+
+/// SplitMix64-seeded xoshiro256** generator. Deterministic across platforms
+/// (unlike std::mt19937 + std::uniform_int_distribution, whose mapping is
+/// implementation-defined).
+class rng {
+public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+private:
+  std::uint64_t state_[4];
+};
+
+} // namespace softsched

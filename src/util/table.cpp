@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace softsched {
+
+void table::set_header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void table::add_row(std::vector<std::string> cells) {
+  SOFTSCHED_EXPECT(header_.empty() || cells.size() == header_.size(),
+                   "row width must match header width");
+  rows_.push_back(row{false, std::move(cells)});
+}
+
+void table::add_separator() { rows_.push_back(row{true, {}}); }
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  auto print_rule = [&os, &widths]() {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << text << std::string(widths[i] - text.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator)
+      print_rule();
+    else
+      print_cells(r.cells);
+  }
+  print_rule();
+}
+
+std::string cell(long long value) { return std::to_string(value); }
+
+std::string cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+} // namespace softsched

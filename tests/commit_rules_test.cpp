@@ -1,0 +1,193 @@
+// commit_rules_test.cpp - the six edge-update rules of the paper's
+// Figure 2, each exercised by an explicitly constructed scenario using
+// manual insert positions:
+//
+//   predecessors p of the new vertex v (cross edges into v's thread k):
+//     (a) p.out[k] before v      -> state untouched
+//     (b) p.out[k] == null       -> add p -> v
+//     (c) p.out[k] after v       -> replace with p -> v
+//   successors q (cross edges out of v's thread k):
+//     (d) q.in[k] after v        -> state untouched
+//     (e) q.in[k] == null        -> add v -> q
+//     (f) q.in[k] before v       -> replace with v -> q
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/threaded_graph.h"
+#include "graph/precedence_graph.h"
+#include "util/check.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+using sg::vertex_id;
+
+namespace {
+
+bool has_state_edge(const sc::threaded_graph& state, vertex_id a, vertex_id b) {
+  const auto edges = state.state_edges();
+  return std::find(edges.begin(), edges.end(), std::make_pair(a, b)) != edges.end();
+}
+
+} // namespace
+
+TEST(CommitRules, RuleB_AddsEdgeToNewPredecessorlessSlot) {
+  // G: p -> v, two threads. p scheduled alone; committing v into the other
+  // thread must add the cross edge p -> v (p.out[k] was null).
+  sg::precedence_graph g;
+  const vertex_id p = g.add_vertex(1, "p");
+  const vertex_id v = g.add_vertex(1, "v");
+  g.add_edge(p, v);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), p);
+  state.commit(state.position_front(1), v);
+  EXPECT_TRUE(has_state_edge(state, p, v));
+  state.check_invariants();
+}
+
+TEST(CommitRules, RuleA_KeepsEdgeWhenTargetPrecedesNewVertex) {
+  // G: p -> x, p -> v. x sits in thread 1; v lands after x. p already
+  // points at x (before v), so the state stays untouched: no direct
+  // p -> v edge, yet p <=S v through x's chain.
+  sg::precedence_graph g;
+  const vertex_id p = g.add_vertex(1, "p");
+  const vertex_id x = g.add_vertex(1, "x");
+  const vertex_id v = g.add_vertex(1, "v");
+  g.add_edge(p, x);
+  g.add_edge(p, v);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), p);
+  state.commit(state.position_front(1), x);
+  ASSERT_TRUE(has_state_edge(state, p, x));
+  state.commit(state.position_after(x), v);
+  EXPECT_TRUE(has_state_edge(state, p, x));
+  EXPECT_FALSE(has_state_edge(state, p, v)) << "edge must stay implied via x";
+  EXPECT_TRUE(state.state_precedes(p, v));
+  state.check_invariants();
+}
+
+TEST(CommitRules, RuleC_ReplacesEdgeWhenNewVertexComesFirst) {
+  // Same graph, but v is inserted *before* x in thread 1: p's old edge to
+  // x is re-routed to v; x stays ordered after p through v's chain.
+  sg::precedence_graph g;
+  const vertex_id p = g.add_vertex(1, "p");
+  const vertex_id x = g.add_vertex(1, "x");
+  const vertex_id v = g.add_vertex(1, "v");
+  g.add_edge(p, x);
+  g.add_edge(p, v);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), p);
+  state.commit(state.position_front(1), x);
+  state.commit(state.position_front(1), v); // head of thread 1: before x
+  EXPECT_TRUE(has_state_edge(state, p, v));
+  EXPECT_FALSE(has_state_edge(state, p, x)) << "old edge must be re-routed";
+  EXPECT_TRUE(state.state_precedes(p, x)) << "ordering must survive via v's chain";
+  EXPECT_TRUE(state.state_precedes(v, x));
+  state.check_invariants();
+}
+
+TEST(CommitRules, RuleE_AddsEdgeToNewSuccessorlessSlot) {
+  // G: v -> q. q scheduled alone; committing v into the other thread adds
+  // the cross edge v -> q (q.in[k] was null).
+  sg::precedence_graph g;
+  const vertex_id v = g.add_vertex(1, "v");
+  const vertex_id q = g.add_vertex(1, "q");
+  g.add_edge(v, q);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), q);
+  state.commit(state.position_front(1), v);
+  EXPECT_TRUE(has_state_edge(state, v, q));
+  state.check_invariants();
+}
+
+TEST(CommitRules, RuleD_KeepsEdgeWhenSourceFollowsNewVertex) {
+  // G: u -> q, v -> q. u sits in thread 0 pointing at q (thread 1); v is
+  // inserted *before* u in thread 0. q.in[thread0] = u comes after v, so
+  // the state stays untouched: v <=S u <=S q through the chain.
+  sg::precedence_graph g;
+  const vertex_id u = g.add_vertex(1, "u");
+  const vertex_id q = g.add_vertex(1, "q");
+  const vertex_id v = g.add_vertex(1, "v");
+  g.add_edge(u, q);
+  g.add_edge(v, q);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), u);
+  state.commit(state.position_front(1), q);
+  ASSERT_TRUE(has_state_edge(state, u, q));
+  state.commit(state.position_front(0), v); // before u in thread 0
+  EXPECT_TRUE(has_state_edge(state, u, q));
+  EXPECT_FALSE(has_state_edge(state, v, q)) << "edge must stay implied via u";
+  EXPECT_TRUE(state.state_precedes(v, q));
+  state.check_invariants();
+}
+
+TEST(CommitRules, RuleF_ReplacesEdgeWhenNewVertexComesLater) {
+  // Same graph, but v lands *after* u in thread 0: q's incoming slot from
+  // thread 0 is re-routed from u to v; u stays ordered before q through
+  // v's chain.
+  sg::precedence_graph g;
+  const vertex_id u = g.add_vertex(1, "u");
+  const vertex_id q = g.add_vertex(1, "q");
+  const vertex_id v = g.add_vertex(1, "v");
+  g.add_edge(u, q);
+  g.add_edge(v, q);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), u);
+  state.commit(state.position_front(1), q);
+  state.commit(state.position_after(u), v); // after u in thread 0
+  EXPECT_TRUE(has_state_edge(state, v, q));
+  EXPECT_FALSE(has_state_edge(state, u, q)) << "old edge must be re-routed";
+  EXPECT_TRUE(state.state_precedes(u, q)) << "ordering must survive via v's chain";
+  state.check_invariants();
+}
+
+TEST(CommitRules, LemmaSeven_DegreeNeverExceedsThreadCount) {
+  // Lemma 7: after any commit sequence, each vertex carries at most K
+  // incoming and K outgoing state edges. Exercise with a dense fan graph.
+  sg::precedence_graph g;
+  const vertex_id hub = g.add_vertex(1, "hub");
+  std::vector<vertex_id> succs;
+  for (int i = 0; i < 12; ++i) {
+    const vertex_id s = g.add_vertex(1);
+    g.add_edge(hub, s);
+    succs.push_back(s);
+  }
+  const int k = 3;
+  sc::threaded_graph state(g, k);
+  state.schedule(hub);
+  for (const vertex_id s : succs) state.schedule(s);
+  state.check_invariants();
+  int hub_out = 0;
+  for (const auto& [from, to] : state.state_edges())
+    if (from == hub) ++hub_out;
+  EXPECT_LE(hub_out, k);
+}
+
+TEST(CommitRules, CommitRejectsIncompatibleThread) {
+  sg::precedence_graph g;
+  const vertex_id v = g.add_vertex(1);
+  sc::threaded_graph state(g, {0, 7}, [](vertex_id) { return 7; });
+  EXPECT_THROW(state.commit(state.position_front(0), v), softsched::precondition_error);
+  state.commit(state.position_front(1), v);
+  EXPECT_TRUE(state.scheduled(v));
+}
+
+TEST(CommitRules, CommitRejectsSameThreadOrderViolation) {
+  // G: a -> b with both forced into one thread; committing b *before* a
+  // violates the total order and must be rejected.
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1, "a");
+  const vertex_id b = g.add_vertex(1, "b");
+  g.add_edge(a, b);
+  sc::threaded_graph state(g, 1);
+  state.commit(state.position_front(0), a);
+  EXPECT_THROW(state.commit(state.position_front(0), b), softsched::precondition_error);
+}
+
+TEST(CommitRules, CommitRejectsDoubleCommit) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), a);
+  EXPECT_THROW(state.commit(state.position_front(1), a), softsched::precondition_error);
+}

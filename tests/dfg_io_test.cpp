@@ -1,0 +1,129 @@
+// dfg_io_test.cpp - the DFG text format: parsing, error reporting, and
+// write/read round-trips across all benchmarks (including refined graphs
+// with wires, spills and forward references).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/distances.h"
+#include "ir/benchmarks.h"
+#include "ir/dfg_io.h"
+#include "refine/refinement.h"
+#include "util/check.h"
+
+namespace si = softsched::ir;
+namespace sf = softsched::refine;
+namespace sg = softsched::graph;
+using sg::vertex_id;
+
+namespace {
+
+/// Structural equality: same ops (name, kind, delay) and same edges.
+void expect_same_dfg(const si::dfg& a, const si::dfg& b) {
+  ASSERT_EQ(a.op_count(), b.op_count());
+  EXPECT_EQ(a.name(), b.name());
+  for (const vertex_id v : a.graph().vertices()) {
+    const vertex_id w = si::find_op(b, std::string(a.graph().name(v)));
+    EXPECT_EQ(a.kind(v), b.kind(w));
+    EXPECT_EQ(a.graph().delay(v), b.graph().delay(w));
+    EXPECT_EQ(a.graph().preds(v).size(), b.graph().preds(w).size());
+    for (const vertex_id p : a.graph().preds(v)) {
+      EXPECT_TRUE(b.graph().has_edge(si::find_op(b, std::string(a.graph().name(p))), w));
+    }
+  }
+}
+
+} // namespace
+
+TEST(DfgIo, ParsesMinimalGraph) {
+  const si::resource_library lib;
+  const si::dfg d = si::read_dfg_string("dfg tiny\n"
+                                        "op m mul\n"
+                                        "op a add m\n",
+                                        lib);
+  EXPECT_EQ(d.name(), "tiny");
+  EXPECT_EQ(d.op_count(), 2u);
+  EXPECT_TRUE(d.graph().has_edge(si::find_op(d, "m"), si::find_op(d, "a")));
+  EXPECT_EQ(d.graph().delay(si::find_op(d, "m")), 2);
+}
+
+TEST(DfgIo, ParsesWiresAndExtraEdges) {
+  const si::resource_library lib;
+  const si::dfg d = si::read_dfg_string("dfg t\n"
+                                        "op a add\n"
+                                        "wire w 3 a\n"
+                                        "op b add\n"
+                                        "edge w b\n",
+                                        lib);
+  const vertex_id w = si::find_op(d, "w");
+  EXPECT_EQ(d.kind(w), si::op_kind::wire);
+  EXPECT_EQ(d.graph().delay(w), 3);
+  EXPECT_TRUE(d.graph().has_edge(si::find_op(d, "a"), w));
+  EXPECT_TRUE(d.graph().has_edge(w, si::find_op(d, "b")));
+}
+
+TEST(DfgIo, CommentsAndBlankLines) {
+  const si::resource_library lib;
+  const si::dfg d = si::read_dfg_string("# header comment\n"
+                                        "dfg t\n"
+                                        "\n"
+                                        "op a add   # trailing comment\n",
+                                        lib);
+  EXPECT_EQ(d.op_count(), 1u);
+}
+
+TEST(DfgIo, ErrorsCarryLineNumbers) {
+  const si::resource_library lib;
+  const auto expect_error = [&lib](const std::string& text, const std::string& needle) {
+    try {
+      (void)si::read_dfg_string(text, lib);
+      FAIL() << "expected graph_error for: " << text;
+    } catch (const softsched::graph_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("op a add\nop a add\n", "line 2");                 // duplicate
+  expect_error("op a frobnicate\n", "unknown operation kind");    // bad kind
+  expect_error("op a add ghost\n", "undeclared operand 'ghost'"); // unknown input
+  expect_error("edge a b\n", "undeclared operation");             // unknown edge end
+  expect_error("wire w 0\n", "wire delay");                       // bad delay
+  expect_error("banana a b\n", "unknown keyword");                // bad keyword
+  expect_error("dfg a\ndfg b\n", "duplicate dfg header");         // two headers
+}
+
+TEST(DfgIo, RoundTripsAllBenchmarks) {
+  const si::resource_library lib;
+  for (const si::dfg& original : si::figure3_benchmarks(lib)) {
+    std::ostringstream out;
+    si::write_dfg(out, original);
+    const si::dfg parsed = si::read_dfg_string(out.str(), lib);
+    expect_same_dfg(original, parsed);
+    EXPECT_EQ(sg::compute_distances(original.graph()).diameter,
+              sg::compute_distances(parsed.graph()).diameter);
+  }
+}
+
+TEST(DfgIo, RoundTripsRefinedGraphWithForwardReferences) {
+  // After spill refinement the loads are appended *after* their consumers,
+  // so the writer must emit forward references as explicit edge lines.
+  const si::resource_library lib;
+  si::dfg d = si::make_figure1(lib);
+  sf::insert_spill_ops(d, si::find_op(d, "3"));
+  sf::insert_wire_op(d, si::find_op(d, "4"), si::find_op(d, "6"), 2);
+
+  std::ostringstream out;
+  si::write_dfg(out, d);
+  const si::dfg parsed = si::read_dfg_string(out.str(), lib);
+  expect_same_dfg(d, parsed);
+}
+
+TEST(DfgIo, ParseOpKindNames) {
+  EXPECT_EQ(si::parse_op_kind("add"), si::op_kind::add);
+  EXPECT_EQ(si::parse_op_kind("sub"), si::op_kind::sub);
+  EXPECT_EQ(si::parse_op_kind("mul"), si::op_kind::mul);
+  EXPECT_EQ(si::parse_op_kind("compare"), si::op_kind::compare);
+  EXPECT_EQ(si::parse_op_kind("load"), si::op_kind::load);
+  EXPECT_EQ(si::parse_op_kind("store"), si::op_kind::store);
+  EXPECT_EQ(si::parse_op_kind("move"), si::op_kind::move);
+  EXPECT_THROW((void)si::parse_op_kind("wire"), softsched::graph_error);
+}

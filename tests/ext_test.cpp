@@ -1,0 +1,135 @@
+// ext_test.cpp - the outlook extensions (Section 6): resource-constrained
+// technology mapping (MAC fusion) and resource-constrained retiming, both
+// built on the threaded scheduling kernel.
+#include <gtest/gtest.h>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "ext/retime.h"
+#include "ext/tech_map.h"
+#include "graph/distances.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace si = softsched::ir;
+namespace sc = softsched::core;
+namespace sm = softsched::meta;
+namespace se = softsched::ext;
+using softsched::graph::vertex_id;
+
+TEST(TechMap, FirCandidatesAreTheFirstAdderLevel) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_fir8(lib);
+  const auto candidates = se::find_mac_candidates(d);
+  // Eight multiplies feed four first-level adds pairwise; each add is
+  // claimed once (by its lower-id multiply).
+  EXPECT_EQ(candidates.size(), 4u);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(d.kind(c.mul), si::op_kind::mul);
+    EXPECT_EQ(d.kind(c.add), si::op_kind::add);
+    EXPECT_EQ(d.graph().succs(c.mul).size(), 1u);
+  }
+}
+
+TEST(TechMap, FuseReducesOpCountAndStaysValid) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_fir8(lib);
+  const auto candidates = se::find_mac_candidates(d);
+  const si::dfg mapped = se::fuse_macs(d, candidates, 2);
+  EXPECT_EQ(mapped.op_count(), d.op_count() - candidates.size());
+  EXPECT_NO_THROW(mapped.validate());
+  // Fused MACs keep the multiplier class with the MAC latency.
+  const vertex_id mac = si::find_op(mapped, "mac_a1");
+  EXPECT_EQ(mapped.unit_class(mac), si::resource_class::multiplier);
+  EXPECT_EQ(mapped.graph().delay(mac), 2);
+}
+
+TEST(TechMap, EmptyFusionIsIdentity) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const si::dfg mapped = se::fuse_macs(d, {}, 2);
+  EXPECT_EQ(mapped.op_count(), d.op_count());
+  EXPECT_EQ(mapped.graph().edge_count(), d.graph().edge_count());
+}
+
+TEST(TechMap, GreedyMappingNeverHurtsLatency) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const se::tech_map_result result = se::map_macs(d, si::figure3_constraint(c));
+      EXPECT_LE(result.latency_after, result.latency_before)
+          << d.name() << " @ " << si::figure3_constraint(c).label();
+      EXPECT_LE(result.fused, result.candidates);
+      EXPECT_NO_THROW(result.mapped.validate());
+    }
+  }
+}
+
+TEST(TechMap, FirBenefitsFromMacs) {
+  // FIR is the canonical MAC workload: under a tight multiplier budget,
+  // fusing the first adder level must shorten the schedule.
+  const si::resource_library lib;
+  // ALU-bound machine: one adder serializes the 15-add tree while four
+  // multipliers idle - moving adds into MACs frees the bottleneck.
+  const si::dfg d = si::make_fir(lib, 16);
+  const se::tech_map_result result = se::map_macs(d, si::resource_set{1, 4, 1});
+  EXPECT_GT(result.fused, 0u);
+  EXPECT_LT(result.latency_after, result.latency_before);
+}
+
+TEST(Retime, CorrelatorProblemShape) {
+  const se::retime_problem p = se::make_correlator(4);
+  EXPECT_EQ(p.ops.size(), 9u); // host + 4 comparators + 4 adders
+  std::vector<int> identity(p.ops.size(), 0);
+  EXPECT_TRUE(se::valid_retiming(p, identity));
+}
+
+TEST(Retime, InvalidRetimingsRejected) {
+  const se::retime_problem p = se::make_correlator(3);
+  std::vector<int> r(p.ops.size(), 0);
+  r[0] = 100; // drains every register on host-outgoing edges negative
+  EXPECT_FALSE(se::valid_retiming(p, r));
+  EXPECT_FALSE(se::valid_retiming(p, std::vector<int>(3, 0))); // wrong size
+}
+
+TEST(Retime, BodyDfgContainsOnlyZeroWeightEdges) {
+  const si::resource_library lib;
+  const se::retime_problem p = se::make_correlator(3);
+  const std::vector<int> identity(p.ops.size(), 0);
+  const si::dfg body = se::body_dfg(p, identity, lib);
+  EXPECT_EQ(body.op_count(), p.ops.size());
+  std::size_t zero_edges = 0;
+  for (const auto& e : p.edges)
+    if (e.weight == 0) ++zero_edges;
+  EXPECT_EQ(body.graph().edge_count(), zero_edges);
+}
+
+TEST(Retime, HillClimbImprovesCorrelatorLatency) {
+  // The whole point: moving registers into the accumulation chain must
+  // shorten the resource-constrained body schedule.
+  const si::resource_library lib;
+  const se::retime_problem p = se::make_correlator(6);
+  const se::retime_result result =
+      se::retime_min_latency(p, si::resource_set{2, 1, 1}, lib);
+  EXPECT_LT(result.latency_after, result.latency_before);
+  EXPECT_GT(result.rounds, 0);
+  EXPECT_TRUE(se::valid_retiming(p, result.r));
+}
+
+TEST(Retime, ResultIsDeterministic) {
+  const si::resource_library lib;
+  const se::retime_problem p = se::make_correlator(5);
+  const auto r1 = se::retime_min_latency(p, si::resource_set{2, 1, 1}, lib);
+  const auto r2 = se::retime_min_latency(p, si::resource_set{2, 1, 1}, lib);
+  EXPECT_EQ(r1.r, r2.r);
+  EXPECT_EQ(r1.latency_after, r2.latency_after);
+}
+
+TEST(Retime, MoreAlusShortenTheRetimedBody) {
+  const si::resource_library lib;
+  const se::retime_problem p = se::make_correlator(8);
+  const auto tight = se::retime_min_latency(p, si::resource_set{1, 1, 1}, lib);
+  const auto wide = se::retime_min_latency(p, si::resource_set{4, 1, 1}, lib);
+  EXPECT_LE(wide.latency_after, tight.latency_after);
+}

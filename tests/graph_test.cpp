@@ -1,0 +1,330 @@
+// graph_test.cpp - unit tests for the precedence-graph substrate:
+// construction, mutation, Definition-1 distance metrics, orderings,
+// transitive closure, generators and DOT export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/distances.h"
+#include "graph/dot.h"
+#include "graph/generators.h"
+#include "graph/precedence_graph.h"
+#include "graph/reachability.h"
+#include "graph/topo.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+using sg::vertex_id;
+using softsched::rng;
+
+namespace {
+
+/// The paper's Figure 1 (a) skeleton as a raw graph (unit delays).
+sg::precedence_graph figure1_graph() {
+  sg::precedence_graph g;
+  for (int i = 0; i < 7; ++i) g.add_vertex(1, std::to_string(i + 1));
+  auto v = [](int i) { return vertex_id(static_cast<std::uint32_t>(i - 1)); };
+  g.add_edge(v(1), v(2));
+  g.add_edge(v(1), v(3));
+  g.add_edge(v(2), v(4));
+  g.add_edge(v(3), v(6));
+  g.add_edge(v(4), v(6));
+  g.add_edge(v(6), v(7));
+  g.add_edge(v(5), v(7));
+  return g;
+}
+
+} // namespace
+
+TEST(PrecedenceGraph, EmptyGraph) {
+  sg::precedence_graph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(PrecedenceGraph, AddVertexAssignsSequentialIds) {
+  sg::precedence_graph g;
+  EXPECT_EQ(g.add_vertex(1).value(), 0u);
+  EXPECT_EQ(g.add_vertex(2).value(), 1u);
+  EXPECT_EQ(g.delay(vertex_id(0)), 1);
+  EXPECT_EQ(g.delay(vertex_id(1)), 2);
+}
+
+TEST(PrecedenceGraph, NegativeDelayRejected) {
+  sg::precedence_graph g;
+  EXPECT_THROW((void)g.add_vertex(-1), softsched::precondition_error);
+}
+
+TEST(PrecedenceGraph, SelfLoopRejected) {
+  sg::precedence_graph g;
+  const vertex_id v = g.add_vertex(1);
+  EXPECT_THROW(g.add_edge(v, v), softsched::precondition_error);
+}
+
+TEST(PrecedenceGraph, DuplicateEdgeIgnored) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.succs(a).size(), 1u);
+  EXPECT_EQ(g.preds(b).size(), 1u);
+}
+
+TEST(PrecedenceGraph, RemoveEdge) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.remove_edge(a, b));
+  EXPECT_FALSE(g.remove_edge(a, b));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(a, b));
+}
+
+TEST(PrecedenceGraph, OutOfRangeVertexThrows) {
+  sg::precedence_graph g;
+  g.add_vertex(1);
+  EXPECT_THROW((void)g.delay(vertex_id(5)), softsched::precondition_error);
+  EXPECT_THROW((void)g.delay(vertex_id::invalid()), softsched::precondition_error);
+}
+
+TEST(PrecedenceGraph, CycleDetection) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  const vertex_id c = g.add_vertex(1);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_TRUE(g.is_dag());
+  g.add_edge(c, a);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.validate(), softsched::graph_error);
+}
+
+TEST(PrecedenceGraph, SourcesAndSinks) {
+  const sg::precedence_graph g = figure1_graph();
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  // Sources: 1 and 5; sink: 7.
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(g.name(sources[0]), "1");
+  EXPECT_EQ(g.name(sources[1]), "5");
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.name(sinks[0]), "7");
+}
+
+TEST(PrecedenceGraph, RevisionAdvancesOnMutation) {
+  sg::precedence_graph g;
+  const auto r0 = g.revision();
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  EXPECT_GT(g.revision(), r0);
+  const auto r1 = g.revision();
+  g.add_edge(a, b);
+  EXPECT_GT(g.revision(), r1);
+  const auto r2 = g.revision();
+  g.remove_edge(a, b);
+  EXPECT_GT(g.revision(), r2);
+}
+
+TEST(Distances, Figure1DiameterIsFive) {
+  const sg::precedence_graph g = figure1_graph();
+  const sg::distance_labels labels = sg::compute_distances(g);
+  EXPECT_EQ(labels.diameter, 5); // the paper's 5-state ALAP schedule
+}
+
+TEST(Distances, SourceDistanceIncludesOwnDelay) {
+  sg::precedence_graph g = sg::chain(3, 4);
+  const sg::distance_labels labels = sg::compute_distances(g);
+  EXPECT_EQ(labels.sdist[0], 4);
+  EXPECT_EQ(labels.sdist[1], 8);
+  EXPECT_EQ(labels.sdist[2], 12);
+  EXPECT_EQ(labels.tdist[0], 12);
+  EXPECT_EQ(labels.tdist[2], 4);
+  EXPECT_EQ(labels.diameter, 12);
+}
+
+TEST(Distances, ThroughDistanceDecomposition) {
+  // Lemma 5: ||->v->|| = sdist + tdist - delay for every vertex.
+  rng rand(7);
+  const sg::precedence_graph g = sg::gnp_dag(40, 0.15, 1, 3, rand);
+  const sg::distance_labels labels = sg::compute_distances(g);
+  for (const vertex_id v : g.vertices()) {
+    long long best_pred = 0;
+    for (const vertex_id p : g.preds(v))
+      best_pred = std::max(best_pred, labels.sdist[p.value()]);
+    long long best_succ = 0;
+    for (const vertex_id q : g.succs(v))
+      best_succ = std::max(best_succ, labels.tdist[q.value()]);
+    EXPECT_EQ(labels.through(v, g), best_pred + g.delay(v) + best_succ);
+  }
+}
+
+TEST(Distances, CriticalPathIsConsistent) {
+  rng rand(17);
+  const sg::precedence_graph g = sg::gnp_dag(60, 0.1, 1, 2, rand);
+  const sg::distance_labels labels = sg::compute_distances(g);
+  const std::vector<vertex_id> path = sg::critical_path(g);
+  ASSERT_FALSE(path.empty());
+  long long total = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    total += g.delay(path[i]);
+    if (i > 0) {
+      EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+    }
+  }
+  EXPECT_EQ(total, labels.diameter);
+}
+
+TEST(Distances, CyclicGraphThrows) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW((void)sg::compute_distances(g), softsched::graph_error);
+}
+
+TEST(Topo, TopologicalOrderRespectsEdges) {
+  rng rand(23);
+  const sg::precedence_graph g = sg::gnp_dag(50, 0.1, 1, 1, rand);
+  const auto order = sg::topological_order(g);
+  EXPECT_TRUE(sg::is_topological(g, order));
+}
+
+TEST(Topo, TopologicalOrderDetectsCycle) {
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW((void)sg::topological_order(g), softsched::graph_error);
+}
+
+TEST(Topo, DepthFirstOrderIsPermutationButNotNecessarilyTopological) {
+  const sg::precedence_graph g = figure1_graph();
+  const auto order = sg::depth_first_order(g);
+  EXPECT_TRUE(sg::is_permutation(g, order));
+  // DFS from vertex 1 dives 1,2,4,6,7 - which puts 6 before its other
+  // predecessor 3 has been emitted? No: preorder emits 6 after 4 but 3 is
+  // only reached later, so the order is NOT topological for this graph.
+  EXPECT_FALSE(sg::is_topological(g, order));
+}
+
+TEST(Topo, PathPartitionCoversAllVerticesDisjointly) {
+  rng rand(29);
+  const sg::precedence_graph g = sg::gnp_dag(45, 0.12, 1, 2, rand);
+  const auto paths = sg::path_partition(g);
+  std::vector<bool> seen(g.vertex_count(), false);
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_FALSE(seen[path[i].value()]) << "vertex on two paths";
+      seen[path[i].value()] = true;
+      if (i > 0) {
+        // Consecutive path elements must be actual graph edges.
+        EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Topo, PathPartitionLongestFirst) {
+  rng rand(31);
+  const sg::precedence_graph g = sg::gnp_dag(45, 0.12, 1, 2, rand);
+  const auto paths = sg::path_partition(g);
+  auto weight = [&g](const std::vector<vertex_id>& p) {
+    long long w = 0;
+    for (const vertex_id v : p) w += g.delay(v);
+    return w;
+  };
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(weight(paths[i - 1]), weight(paths[i]));
+  // The first path must realize the diameter.
+  EXPECT_EQ(weight(paths[0]), sg::compute_distances(g).diameter);
+}
+
+TEST(Reachability, ClosureMatchesBfs) {
+  rng rand(37);
+  const sg::precedence_graph g = sg::gnp_dag(35, 0.15, 1, 1, rand);
+  const sg::transitive_closure closure(g);
+  // Reference: per-vertex DFS.
+  for (const vertex_id src : g.vertices()) {
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::vector<vertex_id> stack{src};
+    seen[src.value()] = true;
+    while (!stack.empty()) {
+      const vertex_id u = stack.back();
+      stack.pop_back();
+      for (const vertex_id w : g.succs(u)) {
+        if (!seen[w.value()]) {
+          seen[w.value()] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    for (const vertex_id dst : g.vertices()) {
+      EXPECT_EQ(closure.reaches(src, dst), seen[dst.value()])
+          << src.value() << " -> " << dst.value();
+      EXPECT_EQ(closure.strictly_reaches(src, dst), src != dst && seen[dst.value()]);
+    }
+  }
+}
+
+TEST(Reachability, PairCountOnChain) {
+  const sg::precedence_graph g = sg::chain(5, 1);
+  const sg::transitive_closure closure(g);
+  EXPECT_EQ(closure.pair_count(), 10u); // C(5,2) ordered pairs on a chain
+}
+
+TEST(Generators, LayeredRandomShape) {
+  rng rand(41);
+  sg::layered_params params;
+  params.layers = 5;
+  params.width = 6;
+  params.edge_prob = 0.3;
+  const sg::precedence_graph g = sg::layered_random(params, rand);
+  EXPECT_EQ(g.vertex_count(), 30u);
+  EXPECT_TRUE(g.is_dag());
+  // connect_layers guarantees non-input vertices have predecessors.
+  for (std::size_t i = 6; i < 30; ++i)
+    EXPECT_FALSE(g.preds(vertex_id(static_cast<std::uint32_t>(i))).empty());
+}
+
+TEST(Generators, GnpDagIsAcyclicAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rng rand(seed);
+    const sg::precedence_graph g = sg::gnp_dag(30, 0.3, 1, 2, rand);
+    EXPECT_TRUE(g.is_dag()) << "seed " << seed;
+  }
+}
+
+TEST(Generators, ReductionTreeShape) {
+  const sg::precedence_graph g = sg::reduction_tree(8, 2, 1);
+  EXPECT_EQ(g.vertex_count(), 15u); // 8 leaves + 7 internal
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.sources().size(), 8u);
+  EXPECT_EQ(sg::compute_distances(g).diameter, 2 + 3); // leaf + 3 tree levels
+}
+
+TEST(Generators, ChainAndDegenerateSizes) {
+  EXPECT_EQ(sg::chain(0).vertex_count(), 0u);
+  EXPECT_EQ(sg::chain(1).vertex_count(), 1u);
+  EXPECT_EQ(sg::reduction_tree(1, 1, 1).vertex_count(), 1u);
+}
+
+TEST(Dot, ExportContainsVerticesAndEdges) {
+  const sg::precedence_graph g = figure1_graph();
+  std::ostringstream ss;
+  sg::write_dot(ss, g, "fig1");
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph \"fig1\""), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1 (1)\""), std::string::npos);
+}

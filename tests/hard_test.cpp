@@ -1,0 +1,227 @@
+// hard_test.cpp - the hard baselines: schedule container + validator,
+// ASAP/ALAP, resource-constrained list scheduling, force-directed
+// scheduling, and extraction of hard schedules from threaded states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "graph/distances.h"
+#include "hard/asap_alap.h"
+#include "hard/extract.h"
+#include "hard/force_directed.h"
+#include "hard/list_scheduler.h"
+#include "hard/schedule.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+using sg::vertex_id;
+
+TEST(AsapAlap, AsapMakespanEqualsCriticalPath) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    const sh::schedule s = sh::asap_schedule(d);
+    EXPECT_EQ(s.makespan, sg::compute_distances(d.graph()).diameter) << d.name();
+    EXPECT_TRUE(sh::validate_schedule(d, s, nullptr).empty()) << d.name();
+  }
+}
+
+TEST(AsapAlap, AlapRespectsLatencyAndPrecedence) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  const sh::schedule s = sh::alap_schedule(d, 20);
+  EXPECT_EQ(s.makespan, 20);
+  EXPECT_TRUE(sh::validate_schedule(d, s, nullptr).empty());
+  // Sinks finish exactly at the latency in ALAP.
+  for (const vertex_id v : d.graph().sinks())
+    EXPECT_EQ(s.start[v.value()] + d.graph().delay(v), 20);
+}
+
+TEST(AsapAlap, AlapBelowCriticalPathThrows) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  EXPECT_THROW((void)sh::alap_schedule(d, 16), softsched::precondition_error);
+}
+
+TEST(AsapAlap, MobilityZeroOnCriticalPathAtMinLatency) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const long long cp = sg::compute_distances(d.graph()).diameter;
+  const auto mob = sh::mobility(d, cp);
+  // m4 sits on the critical path of HAL.
+  EXPECT_EQ(mob[si::find_op(d, "m4").value()], 0);
+  // a1 (x + dx) is far off the critical path.
+  EXPECT_GT(mob[si::find_op(d, "a1").value()], 0);
+}
+
+TEST(Validator, CatchesPrecedenceViolation) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  sh::schedule s = sh::asap_schedule(d);
+  // Break an edge: schedule s2 before its input s1 finishes.
+  s.start[si::find_op(d, "s2").value()] = 0;
+  const auto violations = sh::validate_schedule(d, s, nullptr);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Validator, CatchesResourceOversubscription) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const sh::schedule s = sh::asap_schedule(d); // 4 muls start at cycle 0
+  const si::resource_set tight{1, 1, 1};
+  const auto violations = sh::validate_schedule(d, s, &tight);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Validator, CatchesUnitDoubleBooking) {
+  const si::resource_library lib;
+  si::dfg d("t", lib);
+  const vertex_id a = d.add_op(si::op_kind::add, {});
+  const vertex_id b = d.add_op(si::op_kind::add, {});
+  sh::schedule s;
+  s.start = {0, 0};
+  s.unit = {0, 0}; // same unit, same cycle
+  s.makespan = 1;
+  const auto violations = sh::validate_schedule(d, s, nullptr);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("unit conflict"), std::string::npos);
+  (void)a;
+  (void)b;
+}
+
+TEST(ListScheduler, RespectsResourcesOnAllBenchmarks) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const si::resource_set rs = si::figure3_constraint(c);
+      const sh::schedule s = sh::list_schedule(d, rs);
+      EXPECT_TRUE(s.complete(d));
+      const auto violations = sh::validate_schedule(d, s, &rs);
+      EXPECT_TRUE(violations.empty())
+          << d.name() << " @ " << rs.label() << ": " << violations.front();
+      EXPECT_GE(s.makespan, sg::compute_distances(d.graph()).diameter);
+    }
+  }
+}
+
+TEST(ListScheduler, UnconstrainedMatchesAsap) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_fir8(lib);
+  // Enough units of everything: list scheduling degenerates to ASAP.
+  const sh::schedule s = sh::list_schedule(d, si::resource_set{16, 16, 4});
+  EXPECT_EQ(s.makespan, sh::asap_schedule(d).makespan);
+}
+
+TEST(ListScheduler, SingleUnitSerializesEverything) {
+  const si::resource_library lib;
+  si::dfg d("t", lib);
+  for (int i = 0; i < 5; ++i) d.add_op(si::op_kind::add, {});
+  const sh::schedule s = sh::list_schedule(d, si::resource_set{1, 1, 1});
+  EXPECT_EQ(s.makespan, 5);
+}
+
+TEST(ListScheduler, InfeasibleClassThrows) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  EXPECT_THROW((void)sh::list_schedule(d, si::resource_set{2, 0, 1}),
+               softsched::infeasible_error);
+}
+
+TEST(ForceDirected, FeasibleAndWithinLatency) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    const long long cp = sg::compute_distances(d.graph()).diameter;
+    const sh::fds_result result = sh::force_directed_schedule(d, cp + 2);
+    EXPECT_TRUE(result.sched.complete(d)) << d.name();
+    EXPECT_LE(result.sched.makespan, cp + 2) << d.name();
+    EXPECT_TRUE(sh::validate_schedule(d, result.sched, nullptr).empty()) << d.name();
+  }
+}
+
+TEST(ForceDirected, BalancesBetterThanAsapAtRelaxedLatency) {
+  // The whole point of FDS: at the same latency, peak usage should not
+  // exceed ASAP's peak, and typically improves it.
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  const long long latency = sg::compute_distances(d.graph()).diameter + 3;
+  const sh::fds_result fds = sh::force_directed_schedule(d, latency);
+  const sh::schedule asap = sh::asap_schedule(d);
+  const int fds_alu = fds.peak[static_cast<int>(si::resource_class::alu)];
+  const int asap_alu = sh::peak_usage(d, asap, si::resource_class::alu);
+  EXPECT_LE(fds_alu, asap_alu);
+  EXPECT_LT(fds_alu, static_cast<int>(d.count_kind(si::op_kind::add)));
+}
+
+TEST(ForceDirected, TooTightLatencyThrows) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  EXPECT_THROW((void)sh::force_directed_schedule(d, 3), softsched::precondition_error);
+}
+
+TEST(Extract, ThreadedStateToHardSchedule) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::list_priority));
+  const sh::schedule s = sh::extract_schedule(state);
+  EXPECT_TRUE(s.complete(d));
+  EXPECT_EQ(s.makespan, state.diameter());
+  const auto violations = sh::validate_schedule(d, s, &rs);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  // Unit binding = thread index.
+  for (const vertex_id v : d.graph().vertices())
+    EXPECT_EQ(s.unit[v.value()], state.thread_of(v));
+}
+
+TEST(Extract, ExtractionValidOnAllBenchmarksAndMetas) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const si::resource_set rs = si::figure3_constraint(c);
+      for (const sm::meta_kind kind : sm::figure3_meta_kinds) {
+        sc::threaded_graph state = sc::make_hls_state(d, rs);
+        state.schedule_all(sm::meta_schedule(d.graph(), kind));
+        const sh::schedule s = sh::extract_schedule(state);
+        const auto violations = sh::validate_schedule(d, s, &rs);
+        EXPECT_TRUE(violations.empty()) << d.name() << "/" << sm::meta_name(kind)
+                                        << " @ " << rs.label() << ": "
+                                        << violations.front();
+      }
+    }
+  }
+}
+
+TEST(Gantt, WritesOneRowPerOp) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const sh::schedule s = sh::list_schedule(d, si::figure3_constraint(0));
+  std::ostringstream ss;
+  sh::write_gantt(ss, d, s);
+  const std::string text = ss.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            d.op_count() + 1); // ops + header
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(UsageProfile, CountsBusyCycles) {
+  const si::resource_library lib;
+  si::dfg d("t", lib);
+  const vertex_id m = d.add_op(si::op_kind::mul, {});
+  d.add_op(si::op_kind::add, {m});
+  const sh::schedule s = sh::asap_schedule(d);
+  const auto mul_profile = sh::usage_profile(d, s, si::resource_class::multiplier);
+  ASSERT_EQ(mul_profile.size(), 3u); // makespan = 2 + 1
+  EXPECT_EQ(mul_profile[0], 1);
+  EXPECT_EQ(mul_profile[1], 1);
+  EXPECT_EQ(mul_profile[2], 0);
+  EXPECT_EQ(sh::peak_usage(d, s, si::resource_class::alu), 1);
+}

@@ -1,0 +1,203 @@
+// integration_test.cpp - cross-module flows on the full benchmark suite:
+// the Figure-3 comparison claims, threaded-vs-naive equivalence at scale,
+// the full soft flow (schedule -> bind -> regalloc -> spill -> floorplan
+// -> wires -> extract), and quality parity between the soft and hard
+// pipelines after refinement.
+#include <gtest/gtest.h>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "graph/distances.h"
+#include "graph/generators.h"
+#include "hard/extract.h"
+#include "hard/list_scheduler.h"
+#include "hard/schedule.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "phys/floorplan.h"
+#include "phys/wire_model.h"
+#include "refine/refinement.h"
+#include "regalloc/left_edge.h"
+#include "regalloc/lifetime.h"
+#include "regalloc/spill.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+namespace sp = softsched::phys;
+namespace sr = softsched::regalloc;
+namespace sf = softsched::refine;
+using sg::vertex_id;
+using softsched::rng;
+
+namespace {
+
+long long threaded_length(const si::dfg& d, const si::resource_set& rs,
+                          sm::meta_kind kind) {
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), kind));
+  return state.diameter();
+}
+
+} // namespace
+
+TEST(Integration, Figure3ShapeThreadedMatchesList) {
+  // The experimental claim of Section 5: "with few exceptions, the
+  // threaded scheduler is able to achieve the same result as the list
+  // scheduler with a number of meta schedules". We assert the measured
+  // form of that: for every benchmark x constraint, the *best* meta
+  // schedule is within one cycle of list scheduling, and every meta
+  // schedule is within 25% + 2 cycles.
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const si::resource_set rs = si::figure3_constraint(c);
+      const long long list_len = sh::list_schedule(d, rs).makespan;
+      long long best = std::numeric_limits<long long>::max();
+      for (const sm::meta_kind kind : sm::figure3_meta_kinds) {
+        const long long len = threaded_length(d, rs, kind);
+        best = std::min(best, len);
+        EXPECT_LE(len, list_len + list_len / 4 + 2)
+            << d.name() << "/" << sm::meta_name(kind) << " @ " << rs.label();
+      }
+      EXPECT_LE(best, list_len + 1) << d.name() << " @ " << rs.label();
+    }
+  }
+}
+
+TEST(Integration, ThreadedNeverBeatsCriticalPathAndAlwaysFeasible) {
+  const si::resource_library lib;
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    const long long cp = sg::compute_distances(d.graph()).diameter;
+    for (int c = 0; c < si::figure3_constraint_count; ++c) {
+      const si::resource_set rs = si::figure3_constraint(c);
+      for (const sm::meta_kind kind : sm::figure3_meta_kinds) {
+        const long long len = threaded_length(d, rs, kind);
+        EXPECT_GE(len, cp);
+      }
+    }
+  }
+}
+
+TEST(Integration, FullSoftFlowEndToEnd) {
+  // The complete flow the paper motivates, all inside one live state:
+  //   1. threaded scheduling (soft decisions)
+  //   2. unit binding falls out of the threads
+  //   3. register allocation -> spill refinement
+  //   4. floorplan -> wire-delay refinement
+  //   5. final hard extraction (the delayed "hard decision")
+  const si::resource_library lib;
+  si::dfg d = si::make_ewf(lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::list_priority));
+  const long long after_scheduling = state.diameter();
+
+  // Register allocation on the provisional schedule. The budget is one
+  // register below demand, clamped to the exact spill feasibility floor.
+  sh::schedule provisional = sh::extract_schedule(state);
+  auto lifetimes = sr::compute_lifetimes(d, provisional);
+  const int budget = std::max(sr::min_spillable_demand(d, lifetimes),
+                              sr::max_live(lifetimes) - 1);
+  for (const vertex_id v : sr::choose_spills(d, lifetimes, budget).values)
+    sf::apply_spill(d, state, v);
+
+  // Physical design on the bound, spill-refined schedule.
+  sh::schedule bound = sh::extract_schedule(state);
+  const sp::floorplan plan(5, 2, 3);
+  const sp::wire_model model{3, 0.34};
+  sf::apply_wire_insertions(d, state, sp::plan_wire_insertions(d, bound, plan, model));
+
+  // Final hard decision.
+  state.check_invariants();
+  sh::schedule final_schedule = sh::extract_schedule(state);
+  EXPECT_TRUE(final_schedule.complete(d));
+  const auto violations = sh::validate_schedule(d, final_schedule, &rs);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_GE(final_schedule.makespan, after_scheduling);
+
+  // Register binding on the final schedule fits the spilled budget's
+  // ballpark (loads add short-lived values, so allow the budget + 2).
+  const auto final_lifetimes = sr::compute_lifetimes(d, final_schedule);
+  const sr::register_binding binding = sr::left_edge_allocate(final_lifetimes);
+  EXPECT_EQ(binding.register_count, sr::max_live(final_lifetimes));
+}
+
+TEST(Integration, SoftRefinementParityWithHardRerun) {
+  // After identical spill refinements, the incremental soft result must
+  // be competitive with a from-scratch hard reschedule (within 2 cycles
+  // on the paper benchmarks - the bench records exact numbers).
+  const si::resource_library lib;
+  for (const si::dfg& base : si::figure3_benchmarks(lib)) {
+    const si::resource_set rs = si::figure3_constraint(0);
+
+    // Soft flow.
+    si::dfg soft_dfg = base;
+    sc::threaded_graph state = sc::make_hls_state(soft_dfg, rs);
+    state.schedule_all(sm::meta_schedule(soft_dfg.graph(), sm::meta_kind::list_priority));
+    // Spill the first value with >= 1 consumer (deterministic pick).
+    vertex_id victim = vertex_id::invalid();
+    for (const vertex_id v : soft_dfg.graph().vertices()) {
+      if (!soft_dfg.graph().succs(v).empty() &&
+          soft_dfg.kind(v) != si::op_kind::store) {
+        victim = v;
+        break;
+      }
+    }
+    ASSERT_TRUE(victim.valid());
+    sf::apply_spill(soft_dfg, state, victim);
+    const long long soft_len = state.diameter();
+
+    // Hard flow: same refinement on a fresh copy, full list reschedule.
+    si::dfg hard_dfg = base;
+    sf::insert_spill_ops(hard_dfg, victim);
+    const long long hard_len = sh::list_schedule(hard_dfg, rs).makespan;
+
+    EXPECT_LE(soft_len, hard_len + 2) << base.name();
+    state.check_invariants();
+  }
+}
+
+TEST(Integration, LargeRandomGraphsEndToEnd) {
+  // Scale check: a few hundred operations through schedule + extract +
+  // validate, multiple thread tags, random meta order.
+  rng rand(2024);
+  sg::layered_params lp;
+  lp.layers = 20;
+  lp.width = 12;
+  lp.edge_prob = 0.2;
+  const sg::precedence_graph g = sg::layered_random(lp, rand);
+
+  sc::threaded_graph state(g, 6);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  state.schedule_all(order);
+  EXPECT_EQ(state.scheduled_count(), g.vertex_count());
+  state.check_invariants();
+
+  const std::vector<long long> start = state.asap_start_times();
+  for (const vertex_id v : g.vertices()) EXPECT_GE(start[v.value()], 0);
+  EXPECT_GE(state.diameter(), sg::compute_distances(g).diameter);
+}
+
+TEST(Integration, MetaScheduleQualityOrderingSanity) {
+  // The informed orders (topological, list-priority) must not lose badly
+  // to the uninformed ones on the paper suite; random orders are allowed
+  // to be worse but must still be correct.
+  const si::resource_library lib;
+  rng rand(5);
+  for (const si::dfg& d : si::figure3_benchmarks(lib)) {
+    const si::resource_set rs = si::figure3_constraint(0);
+    const long long informed =
+        std::min(threaded_length(d, rs, sm::meta_kind::topological),
+                 threaded_length(d, rs, sm::meta_kind::list_priority));
+    sc::threaded_graph random_state = sc::make_hls_state(d, rs);
+    random_state.schedule_all(sm::random_meta_schedule(d.graph(), rand));
+    EXPECT_GE(random_state.diameter(), sg::compute_distances(d.graph()).diameter);
+    EXPECT_LE(informed, random_state.diameter() + 1) << d.name();
+  }
+}

@@ -1,0 +1,195 @@
+// ir_test.cpp - unit tests for the HLS IR: operation kinds, resource
+// library/constraints, DFG container, and the canonical benchmark graphs
+// (op counts and critical paths under the standard delay model).
+#include <gtest/gtest.h>
+
+#include "graph/distances.h"
+#include "ir/benchmarks.h"
+#include "ir/dfg.h"
+#include "ir/operation.h"
+#include "ir/resource.h"
+#include "util/check.h"
+
+namespace si = softsched::ir;
+namespace sg = softsched::graph;
+using sg::vertex_id;
+
+TEST(Operation, MnemonicsAndNames) {
+  EXPECT_EQ(si::mnemonic(si::op_kind::add), "+");
+  EXPECT_EQ(si::mnemonic(si::op_kind::mul), "*");
+  EXPECT_EQ(si::mnemonic(si::op_kind::load), "ld");
+  EXPECT_EQ(si::mnemonic(si::op_kind::store), "st");
+  EXPECT_EQ(si::mnemonic(si::op_kind::wire), "wd");
+  EXPECT_EQ(si::kind_name(si::op_kind::compare), "compare");
+}
+
+TEST(Resource, ClassMapping) {
+  EXPECT_EQ(si::class_of(si::op_kind::add), si::resource_class::alu);
+  EXPECT_EQ(si::class_of(si::op_kind::sub), si::resource_class::alu);
+  EXPECT_EQ(si::class_of(si::op_kind::compare), si::resource_class::alu);
+  EXPECT_EQ(si::class_of(si::op_kind::move), si::resource_class::alu);
+  EXPECT_EQ(si::class_of(si::op_kind::mul), si::resource_class::multiplier);
+  EXPECT_EQ(si::class_of(si::op_kind::load), si::resource_class::memory_port);
+  EXPECT_EQ(si::class_of(si::op_kind::store), si::resource_class::memory_port);
+  EXPECT_EQ(si::class_of(si::op_kind::wire), si::resource_class::wire);
+}
+
+TEST(Resource, DefaultLatencies) {
+  const si::resource_library lib;
+  EXPECT_EQ(lib.latency(si::op_kind::add), 1);
+  EXPECT_EQ(lib.latency(si::op_kind::mul), 2); // non-pipelined 2-cycle multiplier
+  EXPECT_EQ(lib.latency(si::op_kind::compare), 1);
+}
+
+TEST(Resource, LatencyOverride) {
+  si::resource_library lib;
+  lib.set_latency(si::op_kind::mul, 3);
+  EXPECT_EQ(lib.latency(si::op_kind::mul), 3);
+  EXPECT_THROW(lib.set_latency(si::op_kind::mul, 0), softsched::precondition_error);
+}
+
+TEST(Resource, SetLabelsMatchPaperColumns) {
+  EXPECT_EQ(si::figure3_constraint(0).label(), "2+/-,2*");
+  EXPECT_EQ(si::figure3_constraint(1).label(), "4+/-,4*");
+  EXPECT_EQ(si::figure3_constraint(2).label(), "2+/-,1*");
+  EXPECT_THROW((void)si::figure3_constraint(3), softsched::precondition_error);
+}
+
+TEST(Resource, CountByClass) {
+  const si::resource_set rs{3, 2, 1};
+  EXPECT_EQ(rs.count(si::resource_class::alu), 3);
+  EXPECT_EQ(rs.count(si::resource_class::multiplier), 2);
+  EXPECT_EQ(rs.count(si::resource_class::memory_port), 1);
+  EXPECT_EQ(rs.count(si::resource_class::wire), 0); // dedicated, never pooled
+}
+
+TEST(Dfg, AddOpWiresDependences) {
+  const si::resource_library lib;
+  si::dfg d("t", lib);
+  const vertex_id a = d.add_op(si::op_kind::mul, {});
+  const vertex_id b = d.add_op(si::op_kind::add, {a});
+  EXPECT_TRUE(d.graph().has_edge(a, b));
+  EXPECT_EQ(d.graph().delay(a), 2);
+  EXPECT_EQ(d.graph().delay(b), 1);
+  EXPECT_EQ(d.kind(a), si::op_kind::mul);
+  EXPECT_EQ(d.unit_class(b), si::resource_class::alu);
+}
+
+TEST(Dfg, WireNeedsAddWire) {
+  const si::resource_library lib;
+  si::dfg d("t", lib);
+  EXPECT_THROW((void)d.add_op(si::op_kind::wire, {}), softsched::precondition_error);
+  const vertex_id w = d.add_wire(3, {});
+  EXPECT_EQ(d.graph().delay(w), 3);
+  EXPECT_THROW((void)d.add_wire(0, {}), softsched::precondition_error);
+}
+
+TEST(Dfg, CountKindsAndClasses) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  EXPECT_EQ(d.count_kind(si::op_kind::mul), 6u);
+  EXPECT_EQ(d.count_kind(si::op_kind::sub), 2u);
+  EXPECT_EQ(d.count_kind(si::op_kind::add), 2u);
+  EXPECT_EQ(d.count_kind(si::op_kind::compare), 1u);
+  EXPECT_EQ(d.count_class(si::resource_class::alu), 5u);
+  EXPECT_EQ(d.count_class(si::resource_class::multiplier), 6u);
+}
+
+TEST(Dfg, FindOpByName) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  EXPECT_EQ(d.graph().name(si::find_op(d, "m4")), "m4");
+  EXPECT_THROW((void)si::find_op(d, "nonexistent"), softsched::precondition_error);
+}
+
+// --- benchmark structure: op counts and critical paths match the
+// --- standard-suite figures documented in DESIGN.md.
+
+TEST(Benchmarks, HalShape) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  EXPECT_EQ(d.op_count(), 11u);
+  // Critical path m1/m2 -> m4 -> s1 -> s2: 2 + 2 + 1 + 1 = 6.
+  EXPECT_EQ(sg::compute_distances(d.graph()).diameter, 6);
+}
+
+TEST(Benchmarks, ArfShape) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_arf(lib);
+  EXPECT_EQ(d.op_count(), 28u);
+  EXPECT_EQ(d.count_kind(si::op_kind::mul), 16u);
+  EXPECT_EQ(d.count_kind(si::op_kind::add), 12u);
+  // mul + add + mul + add + add + add = 2+1+2+1+1+1 = 8.
+  EXPECT_EQ(sg::compute_distances(d.graph()).diameter, 8);
+}
+
+TEST(Benchmarks, EwfShape) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  EXPECT_EQ(d.op_count(), 34u);
+  EXPECT_EQ(d.count_kind(si::op_kind::add), 26u);
+  EXPECT_EQ(d.count_kind(si::op_kind::mul), 8u);
+  // The classic EWF minimum latency under add=1/mul=2.
+  EXPECT_EQ(sg::compute_distances(d.graph()).diameter, 17);
+}
+
+TEST(Benchmarks, FirShape) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_fir8(lib);
+  EXPECT_EQ(d.op_count(), 15u);
+  EXPECT_EQ(d.count_kind(si::op_kind::mul), 8u);
+  EXPECT_EQ(d.count_kind(si::op_kind::add), 7u);
+  // mul + 3 tree levels = 2 + 3 = 5.
+  EXPECT_EQ(sg::compute_distances(d.graph()).diameter, 5);
+}
+
+TEST(Benchmarks, FirParameterized) {
+  const si::resource_library lib;
+  for (const int taps : {1, 2, 3, 5, 16, 33}) {
+    const si::dfg d = si::make_fir(lib, taps);
+    EXPECT_EQ(d.count_kind(si::op_kind::mul), static_cast<std::size_t>(taps));
+    EXPECT_EQ(d.count_kind(si::op_kind::add), static_cast<std::size_t>(taps - 1));
+    EXPECT_NO_THROW(d.validate());
+  }
+  EXPECT_THROW((void)si::make_fir(lib, 0), softsched::precondition_error);
+}
+
+TEST(Benchmarks, IirCascadeScales) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_iir_cascade(lib, 4);
+  EXPECT_EQ(d.op_count(), 4u * 8u);
+  EXPECT_EQ(d.count_kind(si::op_kind::mul), 16u);
+  EXPECT_NO_THROW(d.validate());
+  // Sections chain: the critical path grows with the section count.
+  const si::dfg d1 = si::make_iir_cascade(lib, 1);
+  EXPECT_GT(sg::compute_distances(d.graph()).diameter,
+            sg::compute_distances(d1.graph()).diameter);
+}
+
+TEST(Benchmarks, Figure1Shape) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_figure1(lib);
+  EXPECT_EQ(d.op_count(), 7u);
+  EXPECT_EQ(sg::compute_distances(d.graph()).diameter, 5);
+  // Edge set from the figure.
+  const auto& g = d.graph();
+  auto v = [&d](const char* name) { return si::find_op(d, name); };
+  EXPECT_TRUE(g.has_edge(v("1"), v("2")));
+  EXPECT_TRUE(g.has_edge(v("1"), v("3")));
+  EXPECT_TRUE(g.has_edge(v("2"), v("4")));
+  EXPECT_TRUE(g.has_edge(v("3"), v("6")));
+  EXPECT_TRUE(g.has_edge(v("4"), v("6")));
+  EXPECT_TRUE(g.has_edge(v("6"), v("7")));
+  EXPECT_TRUE(g.has_edge(v("5"), v("7")));
+  EXPECT_EQ(g.edge_count(), 7u);
+}
+
+TEST(Benchmarks, Figure3SuiteOrder) {
+  const si::resource_library lib;
+  const auto suite = si::figure3_benchmarks(lib);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name(), "HAL");
+  EXPECT_EQ(suite[1].name(), "AR");
+  EXPECT_EQ(suite[2].name(), "EF");
+  EXPECT_EQ(suite[3].name(), "FIR8");
+}

@@ -1,0 +1,164 @@
+// lang_test.cpp - the behavioral front-end: lexer tokens, expression
+// parsing (precedence, parentheses), input-vs-defined-value resolution,
+// error reporting, and the flagship check: compiling the HAL source text
+// reproduces the canonical HAL benchmark DFG op-for-op.
+#include <gtest/gtest.h>
+
+#include "graph/distances.h"
+#include "ir/benchmarks.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace si = softsched::ir;
+namespace sl = softsched::lang;
+namespace sg = softsched::graph;
+using sg::vertex_id;
+
+TEST(Lexer, TokenizesAllKinds) {
+  const auto tokens = sl::tokenize("x1 = x + 3*(y - z) < w;");
+  ASSERT_EQ(tokens.size(), 15u); // 14 tokens + end_of_input
+  EXPECT_EQ(tokens[0].kind, sl::token_kind::identifier);
+  EXPECT_EQ(tokens[0].text, "x1");
+  EXPECT_EQ(tokens[1].kind, sl::token_kind::assign);
+  EXPECT_EQ(tokens[3].kind, sl::token_kind::plus);
+  EXPECT_EQ(tokens[4].kind, sl::token_kind::number);
+  EXPECT_EQ(tokens[4].text, "3");
+  EXPECT_EQ(tokens[5].kind, sl::token_kind::star);
+  EXPECT_EQ(tokens[6].kind, sl::token_kind::lparen);
+  EXPECT_EQ(tokens[8].kind, sl::token_kind::minus);
+  EXPECT_EQ(tokens[10].kind, sl::token_kind::rparen);
+  EXPECT_EQ(tokens[11].kind, sl::token_kind::less);
+  EXPECT_EQ(tokens[13].kind, sl::token_kind::semicolon);
+  EXPECT_EQ(tokens[14].kind, sl::token_kind::end_of_input);
+}
+
+TEST(Lexer, TracksLinesAndColumns) {
+  const auto tokens = sl::tokenize("a = b;\n cc = d;");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[4].text, "cc");
+  EXPECT_EQ(tokens[4].line, 2);
+  EXPECT_EQ(tokens[4].column, 2);
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto tokens = sl::tokenize("# full line\na = b + c; # trailing\n");
+  EXPECT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].text, "a");
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW((void)sl::tokenize("a = b $ c;"), sl::parse_error);
+  try {
+    (void)sl::tokenize("a = b\n  @ c;");
+    FAIL();
+  } catch (const sl::parse_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, SingleOperation) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("s = a + b;", "t", lib);
+  EXPECT_EQ(d.op_count(), 1u);
+  EXPECT_EQ(d.kind(si::find_op(d, "s")), si::op_kind::add);
+  EXPECT_TRUE(d.graph().preds(si::find_op(d, "s")).empty()) << "a, b are free inputs";
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("y = a + b * c;", "t", lib);
+  // b*c is an operand of the add: mul -> add edge.
+  ASSERT_EQ(d.op_count(), 2u);
+  const vertex_id add = si::find_op(d, "y");
+  EXPECT_EQ(d.kind(add), si::op_kind::add);
+  ASSERT_EQ(d.graph().preds(add).size(), 1u);
+  EXPECT_EQ(d.kind(d.graph().preds(add)[0]), si::op_kind::mul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("y = (a + b) * c;", "t", lib);
+  ASSERT_EQ(d.op_count(), 2u);
+  const vertex_id mul = si::find_op(d, "y");
+  EXPECT_EQ(d.kind(mul), si::op_kind::mul);
+  ASSERT_EQ(d.graph().preds(mul).size(), 1u);
+  EXPECT_EQ(d.kind(d.graph().preds(mul)[0]), si::op_kind::add);
+}
+
+TEST(Parser, CompareBindsLoosest) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("c = a + b < x * y;", "t", lib);
+  ASSERT_EQ(d.op_count(), 3u);
+  const vertex_id cmp = si::find_op(d, "c");
+  EXPECT_EQ(d.kind(cmp), si::op_kind::compare);
+  EXPECT_EQ(d.graph().preds(cmp).size(), 2u); // the add and the mul
+}
+
+TEST(Parser, DefinedValuesBecomeDependences) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("t1 = a * b;\nt2 = t1 + c;\nt3 = t1 + t2;", "t", lib);
+  ASSERT_EQ(d.op_count(), 3u);
+  const vertex_id t1 = si::find_op(d, "t1");
+  const vertex_id t2 = si::find_op(d, "t2");
+  const vertex_id t3 = si::find_op(d, "t3");
+  EXPECT_TRUE(d.graph().has_edge(t1, t2));
+  EXPECT_TRUE(d.graph().has_edge(t1, t3));
+  EXPECT_TRUE(d.graph().has_edge(t2, t3));
+}
+
+TEST(Parser, LeftAssociativeChains) {
+  const si::resource_library lib;
+  // a - b - c must parse as (a - b) - c: two subs chained.
+  const si::dfg d = sl::compile_behavior("r = a - b - c;", "t", lib);
+  ASSERT_EQ(d.op_count(), 2u);
+  const vertex_id root = si::find_op(d, "r");
+  ASSERT_EQ(d.graph().preds(root).size(), 1u);
+  EXPECT_EQ(d.kind(d.graph().preds(root)[0]), si::op_kind::sub);
+}
+
+TEST(Parser, SyntaxErrors) {
+  const si::resource_library lib;
+  EXPECT_THROW((void)sl::compile_behavior("x = ;", "t", lib), sl::parse_error);
+  EXPECT_THROW((void)sl::compile_behavior("x = a + b", "t", lib), sl::parse_error);
+  EXPECT_THROW((void)sl::compile_behavior("= a + b;", "t", lib), sl::parse_error);
+  EXPECT_THROW((void)sl::compile_behavior("x = (a + b;", "t", lib), sl::parse_error);
+  EXPECT_THROW((void)sl::compile_behavior("x = a ++ b;", "t", lib), sl::parse_error);
+}
+
+TEST(Parser, BareOperandStatementRejected) {
+  const si::resource_library lib;
+  // "x = a;" computes nothing - there is no operation to schedule.
+  EXPECT_THROW((void)sl::compile_behavior("x = a;", "t", lib), sl::parse_error);
+  EXPECT_THROW((void)sl::compile_behavior("x = 42;", "t", lib), sl::parse_error);
+}
+
+TEST(Parser, HalSourceReproducesCanonicalBenchmark) {
+  // The flagship front-end check: the diffeq body from the paper's era
+  // compiles to the same op mix and critical path as the hand-built HAL.
+  const si::resource_library lib;
+  // Parenthesized as in the canonical balanced decomposition: (3x)(u dx)
+  // rather than the left-associative ((3x)u)dx chain.
+  const si::dfg compiled = sl::compile_behavior(
+      "x1 = x + dx;\n"
+      "u1 = u - (3*x)*(u*dx) - (3*y)*dx;\n"
+      "y1 = y + u*dx;\n"
+      "c  = x1 < a;\n",
+      "HAL", lib);
+  const si::dfg canonical = si::make_hal(lib);
+
+  EXPECT_EQ(compiled.op_count(), canonical.op_count());
+  for (const si::op_kind kind : {si::op_kind::add, si::op_kind::sub, si::op_kind::mul,
+                                 si::op_kind::compare}) {
+    EXPECT_EQ(compiled.count_kind(kind), canonical.count_kind(kind))
+        << si::kind_name(kind);
+  }
+  EXPECT_EQ(sg::compute_distances(compiled.graph()).diameter,
+            sg::compute_distances(canonical.graph()).diameter);
+}
+
+TEST(Parser, EmptySourceGivesEmptyDfg) {
+  const si::resource_library lib;
+  const si::dfg d = sl::compile_behavior("# nothing here\n", "empty", lib);
+  EXPECT_EQ(d.op_count(), 0u);
+}

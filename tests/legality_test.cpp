@@ -1,0 +1,152 @@
+// legality_test.cpp - the no-cycle guard of select().
+//
+// DESIGN.md documents one deliberate deviation from the paper's abbreviated
+// pseudocode: line 60 guards a position with the *input* graph's order
+// (v <=G cur / cur.out[k] <=G v), but a position can be illegal through
+// paths that use artificial state edges only. These tests (1) construct
+// that counterexample, showing the literal <=G guard would accept a
+// cycle-creating position, (2) verify our guard exactly characterizes
+// acyclicity on random graphs: every accepted position commits to an
+// acyclic state, every rejected one would create a cycle or a same-thread
+// order violation.
+#include <gtest/gtest.h>
+
+#include "core/threaded_graph.h"
+#include "graph/generators.h"
+#include "graph/precedence_graph.h"
+#include "graph/reachability.h"
+#include "graph/topo.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+using sg::vertex_id;
+using softsched::rng;
+
+TEST(Legality, PaperLiteralGuardAcceptsCycleCreatingPosition) {
+  // G: v -> x, w -> q. Manually build the adversarial state:
+  //   thread 0: [x, w]   (x before w: an artificial chain relation)
+  //   thread 1: [q]      with the cross edge w -> q (from w <=G q)
+  // Candidate position: insert v after q in thread 1.
+  // The literal guard checks v <=G q (false) and t-sentinel <=G v (false),
+  // so it would accept. But commit adds q -> v (chain) and v -> x (cross,
+  // from v <=G x), closing the cycle v -> x -> w -> q -> v.
+  sg::precedence_graph g;
+  const vertex_id v = g.add_vertex(1, "v");
+  const vertex_id x = g.add_vertex(1, "x");
+  const vertex_id w = g.add_vertex(1, "w");
+  const vertex_id q = g.add_vertex(1, "q");
+  g.add_edge(v, x);
+  g.add_edge(w, q);
+
+  sc::threaded_graph state(g, 2);
+  state.commit(state.position_front(0), x);
+  state.commit(state.position_after(x), w);
+  state.commit(state.position_front(1), q);
+  state.check_invariants();
+
+  // The literal <=G guard on "after q": both tests pass (no G relation
+  // between v and q, and q's thread successor is the sentinel).
+  const sg::transitive_closure closure(g);
+  EXPECT_FALSE(closure.strictly_reaches(v, q));
+  EXPECT_FALSE(closure.strictly_reaches(q, v));
+
+  // Our select must NOT choose "after q" for v.
+  const sc::insert_position chosen = state.select(v);
+  EXPECT_FALSE(chosen.thread == 1 && chosen.after == state.position_after(q).after)
+      << "select accepted the cycle-creating position";
+
+  // Committing there anyway corrupts the state into a cycle, which the
+  // invariant checker detects.
+  sc::threaded_graph corrupted(state);
+  corrupted.commit(corrupted.position_after(q), v);
+  EXPECT_THROW(corrupted.check_invariants(), softsched::graph_error);
+
+  // And the position select *did* choose keeps everything sound.
+  state.commit(chosen, v);
+  EXPECT_NO_THROW(state.check_invariants());
+}
+
+TEST(Legality, GuardExactlyCharacterizesAcyclicity) {
+  // Ground truth for a position = "committing there keeps the state a
+  // valid threaded graph" (speculative commit + invariant check). Our
+  // position_legal() guard must coincide with the ground truth on every
+  // (vertex, position) pair along random feed orders.
+  for (const std::uint64_t seed : {3u, 5u, 8u, 21u}) {
+    rng rand(seed);
+    sg::layered_params lp;
+    lp.layers = 4;
+    lp.width = 3;
+    lp.edge_prob = 0.4;
+    const sg::precedence_graph g = sg::layered_random(lp, rand);
+    sc::threaded_graph state(g, 2);
+
+    std::vector<vertex_id> order = g.vertices();
+    rand.shuffle(order);
+    for (const vertex_id v : order) {
+      for (int k = 0; k < state.thread_count(); ++k) {
+        std::vector<sc::insert_position> positions{state.position_front(k)};
+        for (const vertex_id u : state.thread_sequence(k))
+          positions.push_back(state.position_after(u));
+        for (const sc::insert_position& pos : positions) {
+          bool ground_truth = true;
+          sc::threaded_graph speculative(state);
+          try {
+            speculative.commit(pos, v);
+            speculative.check_invariants();
+          } catch (const softsched::precondition_error&) {
+            ground_truth = false; // same-thread order violation
+          } catch (const softsched::graph_error&) {
+            ground_truth = false; // cycle through cross edges
+          }
+          EXPECT_EQ(state.position_legal(v, pos), ground_truth)
+              << "guard mismatch for v" << v.value() << " at thread " << pos.thread;
+        }
+      }
+      state.schedule(v);
+      state.check_invariants();
+    }
+  }
+}
+
+TEST(Legality, SelectNeverFailsOnAnyFeedOrder) {
+  // DESIGN.md's existence argument: a legal slot always exists in every
+  // compatible thread. Stress with many random orders including
+  // anti-topological ones.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    rng rand(seed * 97);
+    const sg::precedence_graph g = sg::gnp_dag(24, 0.2, 1, 2, rand);
+    sc::threaded_graph state(g, 1 + static_cast<int>(seed % 4));
+    std::vector<vertex_id> order = g.vertices();
+    // Feed in *reverse* topological order half the time - every vertex
+    // arrives before all of its predecessors.
+    if (seed % 2 == 0) {
+      order = sg::topological_order(g);
+      std::reverse(order.begin(), order.end());
+    } else {
+      rand.shuffle(order);
+    }
+    for (const vertex_id v : order) EXPECT_NO_THROW(state.schedule(v));
+    state.check_invariants();
+    EXPECT_EQ(state.scheduled_count(), g.vertex_count());
+  }
+}
+
+TEST(Legality, ReverseTopologicalFeedStillOptimalPerStep) {
+  // Online optimality holds per step even under the worst feed order.
+  rng rand(1234);
+  const sg::precedence_graph g = sg::gnp_dag(18, 0.25, 1, 2, rand);
+  std::vector<vertex_id> order = sg::topological_order(g);
+  std::reverse(order.begin(), order.end());
+  sc::threaded_graph state(g, 3);
+  for (const vertex_id v : order) {
+    const sc::insert_position fast = state.select(v);
+    const sc::insert_position naive = state.select_naive(v);
+    sc::threaded_graph probe(state);
+    probe.commit(fast, v);
+    EXPECT_EQ(probe.diameter(), naive.cost);
+    state.commit(fast, v);
+  }
+  state.check_invariants();
+}

@@ -1,0 +1,142 @@
+// partial_state_test.cpp - behaviour on *partially* scheduled states: the
+// soft scheduler's whole point is that the state is usable mid-flight
+// (other phases query it before every operation is placed).
+#include <gtest/gtest.h>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "graph/topo.h"
+#include "hard/extract.h"
+#include "hard/schedule.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+using sg::vertex_id;
+
+namespace {
+
+/// HAL with only the first half of the topological order scheduled.
+struct half_scheduled {
+  si::resource_library lib;
+  si::dfg d;
+  sc::threaded_graph state;
+  std::vector<vertex_id> scheduled;
+  std::vector<vertex_id> pending;
+
+  half_scheduled() : d(si::make_hal(lib)), state(sc::make_hls_state(d, si::resource_set{2, 2, 1})) {
+    const auto order = sm::meta_schedule(d.graph(), sm::meta_kind::topological);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i < order.size() / 2) {
+        state.schedule(order[i]);
+        scheduled.push_back(order[i]);
+      } else {
+        pending.push_back(order[i]);
+      }
+    }
+  }
+};
+
+} // namespace
+
+TEST(PartialState, AsapStartsAreMinusOneForPending) {
+  half_scheduled fx;
+  const auto start = fx.state.asap_start_times();
+  for (const vertex_id v : fx.scheduled) EXPECT_GE(start[v.value()], 0);
+  for (const vertex_id v : fx.pending) EXPECT_EQ(start[v.value()], -1);
+}
+
+TEST(PartialState, ExtractionMarksPendingUnscheduled) {
+  half_scheduled fx;
+  const sh::schedule s = sh::extract_schedule(fx.state);
+  EXPECT_FALSE(s.complete(fx.d));
+  for (const vertex_id v : fx.pending) {
+    EXPECT_EQ(s.start[v.value()], -1);
+    EXPECT_EQ(s.unit[v.value()], -1);
+  }
+  // The validator reports every pending op.
+  const auto violations = sh::validate_schedule(fx.d, s, nullptr);
+  EXPECT_EQ(violations.size(), fx.pending.size());
+}
+
+TEST(PartialState, QueriesRejectPendingVertices) {
+  half_scheduled fx;
+  const vertex_id pending = fx.pending.front();
+  EXPECT_THROW((void)fx.state.thread_of(pending), softsched::precondition_error);
+  EXPECT_THROW((void)fx.state.source_distance(pending), softsched::precondition_error);
+  EXPECT_THROW((void)fx.state.sink_distance(pending), softsched::precondition_error);
+  EXPECT_THROW((void)fx.state.position_after(pending), softsched::precondition_error);
+}
+
+TEST(PartialState, DiameterOnlyCountsScheduledWork) {
+  half_scheduled fx;
+  // The half-state's diameter cannot exceed the full schedule's.
+  sc::threaded_graph full = sc::make_hls_state(fx.d, si::resource_set{2, 2, 1});
+  full.schedule_all(sm::meta_schedule(fx.d.graph(), sm::meta_kind::topological));
+  EXPECT_LE(fx.state.diameter(), full.diameter());
+  EXPECT_GT(fx.state.diameter(), 0);
+}
+
+TEST(PartialState, InvariantsHoldAndFinishingWorks) {
+  half_scheduled fx;
+  fx.state.check_invariants();
+  for (const vertex_id v : fx.pending) fx.state.schedule(v);
+  fx.state.check_invariants();
+  EXPECT_EQ(fx.state.scheduled_count(), fx.d.op_count());
+  const sh::schedule s = sh::extract_schedule(fx.state);
+  EXPECT_TRUE(s.complete(fx.d));
+}
+
+TEST(PartialState, SelectIsDeterministicAndRepeatable) {
+  half_scheduled fx;
+  const vertex_id v = fx.pending.front();
+  const sc::insert_position a = fx.state.select(v);
+  const sc::insert_position b = fx.state.select(v);
+  EXPECT_EQ(a.thread, b.thread);
+  EXPECT_EQ(a.after, b.after);
+  EXPECT_EQ(a.cost, b.cost);
+  // select() must not mutate the observable state.
+  fx.state.check_invariants();
+  EXPECT_EQ(fx.state.scheduled_count(), fx.scheduled.size());
+}
+
+TEST(PartialState, StateEdgesOnlyMentionScheduledOps) {
+  half_scheduled fx;
+  for (const auto& [from, to] : fx.state.state_edges()) {
+    EXPECT_TRUE(fx.state.scheduled(from));
+    EXPECT_TRUE(fx.state.scheduled(to));
+  }
+}
+
+TEST(PartialState, ThreadSequencesGrowMonotonically) {
+  // Earlier thread contents are a prefix-preserving subset of later ones:
+  // committed positions never move (the soft-decision guarantee).
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  sc::threaded_graph state = sc::make_hls_state(d, si::resource_set{2, 2, 1});
+  const auto order = sm::meta_schedule(d.graph(), sm::meta_kind::list_priority);
+
+  std::vector<std::vector<vertex_id>> previous(
+      static_cast<std::size_t>(state.thread_count()));
+  for (const vertex_id v : order) {
+    state.schedule(v);
+    for (int k = 0; k < state.thread_count(); ++k) {
+      const auto now = state.thread_sequence(k);
+      auto& before = previous[static_cast<std::size_t>(k)];
+      // Every previously committed op is still there, in the same relative
+      // order (insertions are allowed anywhere, removals never happen).
+      std::size_t cursor = 0;
+      for (const vertex_id u : before) {
+        while (cursor < now.size() && now[cursor] != u) ++cursor;
+        ASSERT_LT(cursor, now.size())
+            << "op vanished or reordered within its thread";
+      }
+      before = now;
+    }
+  }
+}

@@ -1,0 +1,112 @@
+// phys_test.cpp - the simulated physical-design substrate: grid
+// floorplanning, the wire-delay model, and wire-insertion planning over a
+// bound schedule.
+#include <gtest/gtest.h>
+
+#include "core/hls_binding.h"
+#include "core/threaded_graph.h"
+#include "hard/extract.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "phys/floorplan.h"
+#include "phys/wire_model.h"
+#include "util/check.h"
+
+namespace si = softsched::ir;
+namespace sc = softsched::core;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+namespace sp = softsched::phys;
+using softsched::graph::vertex_id;
+
+TEST(Floorplan, RowMajorGridPositions) {
+  const sp::floorplan plan(5, 2, 2);
+  EXPECT_EQ(plan.unit_count(), 5);
+  EXPECT_EQ(plan.position(0).x, 0);
+  EXPECT_EQ(plan.position(0).y, 0);
+  EXPECT_EQ(plan.position(1).x, 2);
+  EXPECT_EQ(plan.position(1).y, 0);
+  EXPECT_EQ(plan.position(2).x, 0);
+  EXPECT_EQ(plan.position(2).y, 2);
+  EXPECT_EQ(plan.position(4).x, 0);
+  EXPECT_EQ(plan.position(4).y, 4);
+}
+
+TEST(Floorplan, ManhattanDistanceSymmetric) {
+  const sp::floorplan plan(6, 3, 1);
+  for (int a = 0; a < 6; ++a) {
+    EXPECT_EQ(plan.distance(a, a), 0);
+    for (int b = 0; b < 6; ++b) EXPECT_EQ(plan.distance(a, b), plan.distance(b, a));
+  }
+  EXPECT_EQ(plan.distance(0, 5), 2 + 1); // (0,0) -> (2,1)
+  EXPECT_GT(plan.diameter(), 0);
+}
+
+TEST(Floorplan, InvalidArgumentsThrow) {
+  EXPECT_THROW(sp::floorplan(0, 1), softsched::precondition_error);
+  EXPECT_THROW(sp::floorplan(1, 0), softsched::precondition_error);
+  const sp::floorplan plan(2, 2);
+  EXPECT_THROW((void)plan.position(2), softsched::precondition_error);
+}
+
+TEST(Floorplan, ForResourceSetCoversAllUnits) {
+  const si::resource_set rs{2, 2, 1};
+  const sp::floorplan plan = sp::floorplan_for(rs);
+  EXPECT_EQ(plan.unit_count(), 5);
+}
+
+TEST(WireModel, ShortTransfersAreFree) {
+  const sp::wire_model model{2, 0.5};
+  EXPECT_EQ(model.wire_cycles(0), 0);
+  EXPECT_EQ(model.wire_cycles(2), 0);
+  EXPECT_EQ(model.wire_cycles(3), 1);  // ceil(1 * 0.5)
+  EXPECT_EQ(model.wire_cycles(6), 2);  // ceil(4 * 0.5)
+  EXPECT_EQ(model.wire_cycles(10), 4); // ceil(8 * 0.5)
+  EXPECT_THROW((void)model.wire_cycles(-1), softsched::precondition_error);
+}
+
+TEST(WirePlanning, FindsOnlyCrossUnitLongTransfers) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::list_priority));
+  const sh::schedule bound = sh::extract_schedule(state);
+  // A spread-out floorplan with an aggressive wire model.
+  const sp::floorplan plan(5, 2, 4);
+  const sp::wire_model model{3, 0.5};
+  const auto insertions = sp::plan_wire_insertions(d, bound, plan, model);
+  EXPECT_FALSE(insertions.empty()) << "a spread floorplan must create long wires";
+  for (const auto& w : insertions) {
+    EXPECT_TRUE(d.graph().has_edge(w.from, w.to));
+    EXPECT_NE(bound.unit[w.from.value()], bound.unit[w.to.value()]);
+    EXPECT_GE(w.delay, 1);
+    EXPECT_EQ(w.delay,
+              model.wire_cycles(plan.distance(bound.unit[w.from.value()],
+                                              bound.unit[w.to.value()])));
+  }
+}
+
+TEST(WirePlanning, TightFloorplanNeedsNoWires) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  sc::threaded_graph state = sc::make_hls_state(d, rs);
+  state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::topological));
+  const sh::schedule bound = sh::extract_schedule(state);
+  // Everything adjacent + generous free distance: no wires needed.
+  const sp::floorplan plan(5, 3, 1);
+  const sp::wire_model model{8, 0.5};
+  EXPECT_TRUE(sp::plan_wire_insertions(d, bound, plan, model).empty());
+}
+
+TEST(WirePlanning, RequiresBoundSchedule) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  sh::schedule unbound; // empty unit vector
+  unbound.start.assign(d.op_count(), 0);
+  const sp::floorplan plan(5, 3, 1);
+  const sp::wire_model model{1, 1.0};
+  EXPECT_THROW((void)sp::plan_wire_insertions(d, unbound, plan, model),
+               softsched::precondition_error);
+}

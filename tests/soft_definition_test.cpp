@@ -1,0 +1,207 @@
+// soft_definition_test.cpp - the formal conditions of Section 3 verified
+// on execution traces of the threaded scheduler:
+//
+//   Definition 3 (online schedule): initial, correctness, incremental.
+//   Definition 4 (threaded graph): thread partition + per-thread total order.
+//   Hard-vs-soft: a 1-threaded state is totally ordered (a hard schedule);
+//   a K>1 state is generally only partially ordered (soft).
+//   Lemma 4: diameters are monotonically non-decreasing.
+//   Lemma 6: scheduling v leaves its predecessors' source distances and
+//   its successors' sink distances unchanged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/threaded_graph.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "graph/topo.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+using sg::vertex_id;
+using softsched::rng;
+
+namespace {
+
+sg::precedence_graph random_graph(std::uint64_t seed) {
+  rng rand(seed);
+  return sg::gnp_dag(22, 0.18, 1, 2, rand);
+}
+
+} // namespace
+
+TEST(SoftDefinition, InitialConditionEmptyState) {
+  const sg::precedence_graph g = random_graph(2);
+  sc::threaded_graph state(g, 3);
+  EXPECT_EQ(state.scheduled_count(), 0u);
+  EXPECT_TRUE(state.state_edges().empty());
+  EXPECT_EQ(state.diameter(), 0);
+}
+
+TEST(SoftDefinition, CorrectnessConditionOnTrace) {
+  // p <=G q for scheduled p, q implies p <=S q at every step.
+  const sg::precedence_graph g = random_graph(3);
+  const sg::transitive_closure closure(g);
+  sc::threaded_graph state(g, 2);
+  rng rand(99);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  std::vector<vertex_id> scheduled;
+  for (const vertex_id v : order) {
+    state.schedule(v);
+    scheduled.push_back(v);
+    for (const vertex_id p : scheduled)
+      for (const vertex_id q : scheduled)
+        if (closure.strictly_reaches(p, q)) {
+          ASSERT_TRUE(state.state_precedes(p, q))
+              << "correctness violated: " << p.value() << " <G " << q.value();
+        }
+  }
+}
+
+TEST(SoftDefinition, IncrementalConditionOnTrace) {
+  // Each step adds exactly the new vertex and only tightens the order:
+  // every (a, b) related before stays related after.
+  const sg::precedence_graph g = random_graph(4);
+  sc::threaded_graph state(g, 3);
+  rng rand(7);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  std::vector<vertex_id> scheduled;
+  for (const vertex_id v : order) {
+    // Record the relation over the current support.
+    std::vector<std::pair<vertex_id, vertex_id>> related;
+    for (const vertex_id a : scheduled)
+      for (const vertex_id b : scheduled)
+        if (a != b && state.state_precedes(a, b)) related.emplace_back(a, b);
+
+    state.schedule(v);
+    scheduled.push_back(v);
+    EXPECT_EQ(state.scheduled_count(), scheduled.size());
+    for (const auto& [a, b] : related)
+      ASSERT_TRUE(state.state_precedes(a, b))
+          << "incremental condition violated at v" << v.value();
+  }
+}
+
+TEST(SoftDefinition, OneThreadStateIsTotallyOrdered) {
+  // K = 1 degenerates the soft scheduler into a hard one: any two
+  // scheduled operations are comparable.
+  const sg::precedence_graph g = random_graph(5);
+  sc::threaded_graph state(g, 1);
+  state.schedule_all(sg::topological_order(g));
+  for (const vertex_id a : g.vertices())
+    for (const vertex_id b : g.vertices())
+      EXPECT_TRUE(state.state_precedes(a, b) || state.state_precedes(b, a));
+}
+
+TEST(SoftDefinition, MultiThreadStateIsPartiallyOrdered) {
+  // With parallelism available, some pair must stay incomparable -
+  // that is what makes the schedule soft.
+  sg::precedence_graph g;
+  const vertex_id a = g.add_vertex(1);
+  const vertex_id b = g.add_vertex(1);
+  sc::threaded_graph state(g, 2);
+  state.schedule(a);
+  state.schedule(b);
+  EXPECT_FALSE(state.state_precedes(a, b) && state.state_precedes(b, a));
+  EXPECT_TRUE(!state.state_precedes(a, b) || !state.state_precedes(b, a));
+  // They landed on different threads (independent ops, 2 units).
+  EXPECT_NE(state.thread_of(a), state.thread_of(b));
+  EXPECT_FALSE(state.state_precedes(a, b));
+  EXPECT_FALSE(state.state_precedes(b, a));
+}
+
+TEST(SoftDefinition, ThreadPartitionCoversEveryScheduledOp) {
+  const sg::precedence_graph g = random_graph(6);
+  sc::threaded_graph state(g, 4);
+  state.schedule_all(sg::topological_order(g));
+  std::set<std::uint32_t> seen;
+  for (int k = 0; k < state.thread_count(); ++k) {
+    for (const vertex_id v : state.thread_sequence(k)) {
+      EXPECT_EQ(state.thread_of(v), k);
+      EXPECT_TRUE(seen.insert(v.value()).second) << "vertex on two threads";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.vertex_count());
+}
+
+TEST(SoftDefinition, ThreadSequencesAreTotallyOrderedChains) {
+  const sg::precedence_graph g = random_graph(8);
+  sc::threaded_graph state(g, 3);
+  state.schedule_all(sg::topological_order(g));
+  for (int k = 0; k < state.thread_count(); ++k) {
+    const auto seq = state.thread_sequence(k);
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      EXPECT_TRUE(state.state_precedes(seq[i], seq[i + 1]));
+      EXPECT_FALSE(state.state_precedes(seq[i + 1], seq[i]));
+    }
+  }
+}
+
+TEST(SoftDefinition, Lemma4DiameterMonotonic) {
+  const sg::precedence_graph g = random_graph(9);
+  sc::threaded_graph state(g, 2);
+  rng rand(11);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  long long prev = 0;
+  for (const vertex_id v : order) {
+    state.schedule(v);
+    const long long now = state.diameter();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SoftDefinition, Lemma6NeighborDistancesStable) {
+  // Scheduling v must not change ||->p|| of scheduled predecessors p nor
+  // ||q->|| of scheduled successors q.
+  const sg::precedence_graph g = random_graph(10);
+  const sg::transitive_closure closure(g);
+  sc::threaded_graph state(g, 3);
+  rng rand(13);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  std::vector<vertex_id> scheduled;
+  for (const vertex_id v : order) {
+    std::vector<std::pair<vertex_id, long long>> pred_sdist;
+    std::vector<std::pair<vertex_id, long long>> succ_tdist;
+    for (const vertex_id u : scheduled) {
+      if (closure.strictly_reaches(u, v)) pred_sdist.emplace_back(u, state.source_distance(u));
+      if (closure.strictly_reaches(v, u)) succ_tdist.emplace_back(u, state.sink_distance(u));
+    }
+    state.schedule(v);
+    scheduled.push_back(v);
+    for (const auto& [u, sd] : pred_sdist)
+      EXPECT_EQ(state.source_distance(u), sd) << "pred sdist changed (Lemma 6)";
+    for (const auto& [u, td] : succ_tdist)
+      EXPECT_EQ(state.sink_distance(u), td) << "succ tdist changed (Lemma 6)";
+  }
+}
+
+TEST(SoftDefinition, StateOrderRefinesGraphOrder) {
+  // The state's partial order is a *tightening*: it contains <=G
+  // (restricted to scheduled ops) and possibly more (artificial edges),
+  // never less.
+  const sg::precedence_graph g = random_graph(12);
+  const sg::transitive_closure closure(g);
+  sc::threaded_graph state(g, 2);
+  state.schedule_all(sg::topological_order(g));
+  std::size_t graph_pairs = 0;
+  std::size_t state_pairs = 0;
+  for (const vertex_id a : g.vertices()) {
+    for (const vertex_id b : g.vertices()) {
+      if (a == b) continue;
+      if (closure.strictly_reaches(a, b)) {
+        ++graph_pairs;
+        EXPECT_TRUE(state.state_precedes(a, b));
+      }
+      if (a != b && state.state_precedes(a, b)) ++state_pairs;
+    }
+  }
+  EXPECT_GE(state_pairs, graph_pairs);
+}

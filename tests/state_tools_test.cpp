@@ -1,0 +1,99 @@
+// state_tools_test.cpp - the state introspection tooling: scheduler
+// operation counters (the empirical face of Theorem 3) and the DOT export
+// of threaded states.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hls_binding.h"
+#include "core/state_dot.h"
+#include "core/threaded_graph.h"
+#include "graph/generators.h"
+#include "graph/topo.h"
+#include "ir/benchmarks.h"
+#include "meta/meta_schedule.h"
+#include "util/rng.h"
+
+namespace sg = softsched::graph;
+namespace sc = softsched::core;
+namespace si = softsched::ir;
+namespace sm = softsched::meta;
+using sg::vertex_id;
+using softsched::rng;
+
+TEST(Stats, CountersTrackScheduling) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_hal(lib);
+  sc::threaded_graph state = sc::make_hls_state(d, si::figure3_constraint(0));
+  EXPECT_EQ(state.stats().select_calls, 0u);
+  state.schedule_all(sm::meta_schedule(d.graph(), sm::meta_kind::topological));
+  const sc::schedule_stats& stats = state.stats();
+  EXPECT_EQ(stats.select_calls, d.op_count());
+  EXPECT_EQ(stats.commits, d.op_count());
+  EXPECT_GT(stats.positions_scanned, 0u);
+  EXPECT_GT(stats.label_passes, 0u);
+  state.reset_stats();
+  EXPECT_EQ(state.stats().select_calls, 0u);
+}
+
+TEST(Stats, PositionsScannedPerSelectIsLinearInV) {
+  // Theorem 3, empirically: the positions costed by one select() are at
+  // most (scheduled ops + K) - one slot per scheduled op plus each
+  // thread's head slot - on every step, for any feed order.
+  rng rand(77);
+  const sg::precedence_graph g = sg::gnp_dag(60, 0.12, 1, 2, rand);
+  const int k = 3;
+  sc::threaded_graph state(g, k);
+  std::vector<vertex_id> order = g.vertices();
+  rand.shuffle(order);
+  std::uint64_t scheduled = 0;
+  for (const vertex_id v : order) {
+    const std::uint64_t before =
+        state.stats().positions_scanned + state.stats().positions_rejected;
+    state.schedule(v);
+    const std::uint64_t scanned =
+        state.stats().positions_scanned + state.stats().positions_rejected - before;
+    EXPECT_LE(scanned, scheduled + static_cast<std::uint64_t>(k));
+    ++scheduled;
+  }
+}
+
+TEST(Stats, CrossEdgeUpdatesBoundedByDegreeLemma) {
+  // Lemma 7: each commit touches at most 2K cross edges (one predecessor
+  // and one successor slot per thread).
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  sc::threaded_graph state = sc::make_hls_state(d, si::figure3_constraint(0));
+  const int k = state.thread_count();
+  std::uint64_t previous = 0;
+  for (const vertex_id v : sm::meta_schedule(d.graph(), sm::meta_kind::topological)) {
+    state.schedule(v);
+    const std::uint64_t updates = state.stats().cross_edge_updates - previous;
+    previous = state.stats().cross_edge_updates;
+    EXPECT_LE(updates, static_cast<std::uint64_t>(2 * k));
+  }
+}
+
+TEST(StateDot, ContainsThreadsAndEdges) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_figure1(lib);
+  sc::threaded_graph state = sc::make_hls_state(d, si::resource_set{2, 1, 1});
+  state.schedule_all(sg::topological_order(d.graph()));
+  std::ostringstream ss;
+  sc::write_state_dot(ss, state, "fig1_state");
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph \"fig1_state\""), std::string::npos);
+  EXPECT_NE(dot.find("cluster_thread0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Cross edges are dashed; with two ALU threads there must be at least one.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(StateDot, EmptyStateStillValidDot) {
+  sg::precedence_graph g;
+  sc::threaded_graph state(g, 2);
+  std::ostringstream ss;
+  sc::write_state_dot(ss, state);
+  EXPECT_NE(ss.str().find("digraph"), std::string::npos);
+  EXPECT_NE(ss.str().find('}'), std::string::npos);
+}

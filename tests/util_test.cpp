@@ -1,0 +1,121 @@
+// util_test.cpp - utility layer: deterministic RNG and the ASCII table
+// writer used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using softsched::rng;
+using softsched::table;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  bool differed = false;
+  for (int i = 0; i < 10 && !differed; ++i) differed = a.next() != b.next();
+  EXPECT_TRUE(differed);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  rng r(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = r.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng r(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  rng r(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  r.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Table, AlignsColumns) {
+  table t;
+  t.set_header({"a", "long-header", "c"});
+  t.add_row({"xxxxxx", "1", "2"});
+  t.add_separator();
+  t.add_row({"y", "22", "333"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string text = ss.str();
+  // All rule lines identical -> columns aligned.
+  std::istringstream lines(text);
+  std::string line;
+  std::string rule;
+  std::size_t rule_count = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') {
+      if (rule.empty()) rule = line;
+      EXPECT_EQ(line, rule);
+      ++rule_count;
+    }
+  }
+  EXPECT_EQ(rule_count, 4u); // top, under-header, separator, bottom
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), softsched::precondition_error);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(softsched::cell(42), "42");
+  EXPECT_EQ(softsched::cell(-7), "-7");
+  EXPECT_EQ(softsched::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(softsched::cell(2.0, 1), "2.0");
+}
+
+TEST(Check, MacroThrowsWithContext) {
+  try {
+    SOFTSCHED_EXPECT(1 == 2, "one is not two");
+    FAIL() << "expected precondition_error";
+  } catch (const softsched::precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}

@@ -1,0 +1,261 @@
+// softsched_cli - command-line driver for the whole flow: load a design
+// (built-in benchmark, .dfg file, or behavioral .beh source), schedule it
+// (threaded soft scheduler with a chosen meta order, or the list / FDS
+// baselines), optionally apply refinements, and print tables / Gantt
+// charts / DOT.
+//
+// Examples:
+//   softsched_cli --bench ewf --alus 2 --muls 2 --gantt
+//   softsched_cli --beh design.beh --scheduler list
+//   softsched_cli --bench hal --meta dfs --spill m1 --stats --dot state.dot
+//   softsched_cli --dfg design.dfg --scheduler fds --latency 20
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hls_binding.h"
+#include "core/state_dot.h"
+#include "core/threaded_graph.h"
+#include "graph/distances.h"
+#include "hard/extract.h"
+#include "hard/force_directed.h"
+#include "hard/list_scheduler.h"
+#include "ir/benchmarks.h"
+#include "ir/dfg_io.h"
+#include "lang/parser.h"
+#include "meta/meta_schedule.h"
+#include "refine/refinement.h"
+#include "regalloc/left_edge.h"
+#include "regalloc/lifetime.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace si = softsched::ir;
+namespace sc = softsched::core;
+namespace sg = softsched::graph;
+namespace sh = softsched::hard;
+namespace sm = softsched::meta;
+namespace sl = softsched::lang;
+namespace sf = softsched::refine;
+using sg::vertex_id;
+
+namespace {
+
+struct options {
+  std::string bench;
+  std::string dfg_file;
+  std::string beh_file;
+  std::string scheduler = "threaded";
+  std::string meta = "list";
+  std::uint64_t seed = 1;
+  long long latency = -1; // fds target; -1 = critical path + 2
+  int alus = 2;
+  int muls = 2;
+  int mems = 1;
+  std::vector<std::string> spills;
+  std::vector<std::string> wires; // from:to:delay
+  bool gantt = false;
+  bool stats = false;
+  bool registers = false;
+  std::string dot_file;
+};
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "input (one of):\n"
+      << "  --bench <hal|arf|ewf|fir8|fir<N>|iir<N>|fig1>   built-in benchmark\n"
+      << "  --dfg <file>                                    DFG text format\n"
+      << "  --beh <file>                                    behavioral source\n"
+      << "scheduling:\n"
+      << "  --scheduler <threaded|list|fds>                 default: threaded\n"
+      << "  --meta <dfs|topo|path|list|random>              threaded feed order\n"
+      << "  --seed <n>                                      random meta seed\n"
+      << "  --latency <n>                                   FDS latency budget\n"
+      << "  --alus/--muls/--mems <n>                        resources (2/2/1)\n"
+      << "refinement (threaded only):\n"
+      << "  --spill <op>                                    spill a value\n"
+      << "  --wire <from>:<to>:<delay>                      insert wire delay\n"
+      << "output:\n"
+      << "  --gantt  --stats  --registers  --dot <file|->\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+options parse_args(int argc, char** argv) {
+  options opt;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench") opt.bench = need(i);
+    else if (arg == "--dfg") opt.dfg_file = need(i);
+    else if (arg == "--beh") opt.beh_file = need(i);
+    else if (arg == "--scheduler") opt.scheduler = need(i);
+    else if (arg == "--meta") opt.meta = need(i);
+    else if (arg == "--seed") opt.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+    else if (arg == "--latency") opt.latency = std::strtoll(need(i).c_str(), nullptr, 10);
+    else if (arg == "--alus") opt.alus = std::atoi(need(i).c_str());
+    else if (arg == "--muls") opt.muls = std::atoi(need(i).c_str());
+    else if (arg == "--mems") opt.mems = std::atoi(need(i).c_str());
+    else if (arg == "--spill") opt.spills.push_back(need(i));
+    else if (arg == "--wire") opt.wires.push_back(need(i));
+    else if (arg == "--gantt") opt.gantt = true;
+    else if (arg == "--stats") opt.stats = true;
+    else if (arg == "--registers") opt.registers = true;
+    else if (arg == "--dot") opt.dot_file = need(i);
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else usage(argv[0], "unknown option " + arg);
+  }
+  const int inputs = static_cast<int>(!opt.bench.empty()) +
+                     static_cast<int>(!opt.dfg_file.empty()) +
+                     static_cast<int>(!opt.beh_file.empty());
+  if (inputs != 1) usage(argv[0], "exactly one of --bench/--dfg/--beh is required");
+  return opt;
+}
+
+si::dfg load_design(const options& opt, const si::resource_library& lib) {
+  if (!opt.bench.empty()) {
+    const std::string& b = opt.bench;
+    if (b == "hal") return si::make_hal(lib);
+    if (b == "arf") return si::make_arf(lib);
+    if (b == "ewf") return si::make_ewf(lib);
+    if (b == "fig1") return si::make_figure1(lib);
+    if (b.rfind("fir", 0) == 0) return si::make_fir(lib, std::atoi(b.c_str() + 3));
+    if (b.rfind("iir", 0) == 0) return si::make_iir_cascade(lib, std::atoi(b.c_str() + 3));
+    throw softsched::precondition_error("unknown benchmark '" + b + "'");
+  }
+  if (!opt.dfg_file.empty()) {
+    std::ifstream in(opt.dfg_file);
+    if (!in) throw softsched::precondition_error("cannot open " + opt.dfg_file);
+    return si::read_dfg(in, lib);
+  }
+  std::ifstream in(opt.beh_file);
+  if (!in) throw softsched::precondition_error("cannot open " + opt.beh_file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return sl::compile_behavior(text.str(), opt.beh_file, lib);
+}
+
+sm::meta_kind parse_meta(const std::string& name) {
+  if (name == "dfs") return sm::meta_kind::depth_first;
+  if (name == "topo") return sm::meta_kind::topological;
+  if (name == "path") return sm::meta_kind::path_based;
+  if (name == "list") return sm::meta_kind::list_priority;
+  if (name == "random") return sm::meta_kind::random;
+  throw softsched::precondition_error("unknown meta schedule '" + name + "'");
+}
+
+int run(const options& opt) {
+  const si::resource_library lib;
+  si::dfg design = load_design(opt, lib);
+  const si::resource_set resources{opt.alus, opt.muls, opt.mems};
+
+  std::cout << design.name() << ": " << design.op_count() << " ops, critical path "
+            << sg::compute_distances(design.graph()).diameter << ", resources "
+            << resources.label() << "\n";
+
+  sh::schedule result;
+  std::optional<sc::threaded_graph> state;
+
+  if (opt.scheduler == "threaded") {
+    state.emplace(sc::make_hls_state(design, resources));
+    const sm::meta_kind kind = parse_meta(opt.meta);
+    if (kind == sm::meta_kind::random) {
+      softsched::rng rand(opt.seed);
+      state->schedule_all(sm::random_meta_schedule(design.graph(), rand));
+    } else {
+      state->schedule_all(sm::meta_schedule(design.graph(), kind));
+    }
+    // Refinements against the live state.
+    for (const std::string& name : opt.spills) {
+      const auto report = sf::apply_spill(design, *state, si::find_op(design, name));
+      std::cout << "spill " << name << ": +" << report.ops_inserted << " ops, "
+                << report.diameter_before << " -> " << report.diameter_after
+                << " states\n";
+    }
+    for (const std::string& spec : opt.wires) {
+      const auto c1 = spec.find(':');
+      const auto c2 = spec.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos)
+        throw softsched::precondition_error("--wire expects from:to:delay");
+      const auto report = sf::apply_wire_delay(
+          design, *state, si::find_op(design, spec.substr(0, c1)),
+          si::find_op(design, spec.substr(c1 + 1, c2 - c1 - 1)),
+          std::atoi(spec.c_str() + c2 + 1));
+      std::cout << "wire " << spec << ": " << report.diameter_before << " -> "
+                << report.diameter_after << " states\n";
+    }
+    result = sh::extract_schedule(*state);
+    std::cout << "threaded schedule (" << opt.meta << " meta): " << result.makespan
+              << " states\n";
+  } else if (opt.scheduler == "list") {
+    result = sh::list_schedule(design, resources);
+    std::cout << "list schedule: " << result.makespan << " states\n";
+  } else if (opt.scheduler == "fds") {
+    const long long latency =
+        opt.latency > 0 ? opt.latency
+                        : sg::compute_distances(design.graph()).diameter + 2;
+    const sh::fds_result fds = sh::force_directed_schedule(design, latency);
+    result = fds.sched;
+    std::cout << "force-directed schedule @ latency " << latency << ": makespan "
+              << result.makespan << ", peaks: alu "
+              << fds.peak[static_cast<int>(si::resource_class::alu)] << ", mul "
+              << fds.peak[static_cast<int>(si::resource_class::multiplier)] << "\n";
+  } else {
+    throw softsched::precondition_error("unknown scheduler '" + opt.scheduler + "'");
+  }
+
+  const auto violations = sh::validate_schedule(
+      design, result, opt.scheduler == "fds" ? nullptr : &resources);
+  if (!violations.empty()) {
+    std::cerr << "INVALID schedule: " << violations.front() << '\n';
+    return 1;
+  }
+
+  if (opt.gantt) {
+    std::cout << '\n';
+    sh::write_gantt(std::cout, design, result);
+  }
+  if (opt.registers) {
+    const auto lifetimes = softsched::regalloc::compute_lifetimes(design, result);
+    const auto binding = softsched::regalloc::left_edge_allocate(lifetimes);
+    std::cout << "registers: demand " << softsched::regalloc::max_live(lifetimes)
+              << ", left-edge binding uses " << binding.register_count << "\n";
+  }
+  if (opt.stats && state.has_value()) {
+    const sc::schedule_stats& stats = state->stats();
+    std::cout << "scheduler stats: " << stats.select_calls << " selects, "
+              << stats.positions_scanned << " positions costed, "
+              << stats.positions_rejected << " rejected, " << stats.label_passes
+              << " label passes, " << stats.cross_edge_updates
+              << " cross-edge updates\n";
+  }
+  if (!opt.dot_file.empty() && state.has_value()) {
+    if (opt.dot_file == "-") {
+      sc::write_state_dot(std::cout, *state, design.name());
+    } else {
+      std::ofstream out(opt.dot_file);
+      sc::write_state_dot(out, *state, design.name());
+      std::cout << "wrote " << opt.dot_file << "\n";
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
