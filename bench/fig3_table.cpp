@@ -5,7 +5,7 @@
 //
 // The paper's own numbers are printed alongside for comparison. Absolute
 // values can differ by a cycle or two because the original UCI benchmark
-// netlists are reconstructions here (DESIGN.md section 2); the reproduction
+// netlists are reconstructions here (docs/DESIGN.md §2); the reproduction
 // target is the *shape*: threaded scheduling matching list scheduling
 // across meta schedules and constraints.
 #include <iostream>

@@ -46,8 +46,10 @@ int main() {
   for (const vertex_id v : block.graph().vertices()) {
     const auto lane = static_cast<std::size_t>(s.unit[v.value()]);
     words[s.start[v.value()]][lane] = std::string(block.graph().name(v));
+    // assign(1, '|') rather than = "|": the const char* assignment trips
+    // GCC 12's -Wrestrict false positive (libstdc++ PR105651) at -O3.
     for (int extra = 1; extra < block.graph().delay(v); ++extra)
-      words[s.start[v.value()] + extra][lane] = "|";
+      words[s.start[v.value()] + extra][lane].assign(1, '|');
   }
   std::cout << "cycle |";
   for (int k = 0; k < state.thread_count(); ++k) {

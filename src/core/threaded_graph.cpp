@@ -256,7 +256,7 @@ insert_position threaded_graph::select(vertex_id v) {
   if (!any_compatible)
     throw infeasible_error("no thread is compatible with vertex '" +
                            std::string(g_->name(v)) + "'");
-  // A legal slot always exists in every compatible thread (DESIGN.md:
+  // A legal slot always exists in every compatible thread (docs/DESIGN.md §1:
   // the two illegality predicates are monotone in opposite directions and
   // cannot cover a whole thread without implying a cycle among already
   // scheduled vertices).

@@ -99,7 +99,7 @@ public:
   /// Finds the online-optimal legal insertion position for v without
   /// mutating the state. Throws infeasible_error if v has no compatible
   /// thread; never fails otherwise (a legal slot always exists - see
-  /// DESIGN.md). O(K * |V|).
+  /// docs/DESIGN.md §1). O(K * |V|).
   [[nodiscard]] insert_position select(vertex_id v);
 
   /// Reference implementation of Definition 5: evaluates every legal

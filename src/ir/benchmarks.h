@@ -4,7 +4,7 @@
 //
 // The original UCI benchmark netlists are not distributed with the paper;
 // these are canonical reconstructions from the published literature (op
-// counts and delay model match the standard suite; see DESIGN.md §2).
+// counts and delay model match the standard suite; see docs/DESIGN.md §2).
 #pragma once
 
 #include <string>

@@ -103,7 +103,7 @@ TEST(Dfg, FindOpByName) {
 }
 
 // --- benchmark structure: op counts and critical paths match the
-// --- standard-suite figures documented in DESIGN.md.
+// --- standard-suite figures documented in docs/DESIGN.md §2.
 
 TEST(Benchmarks, HalShape) {
   const si::resource_library lib;

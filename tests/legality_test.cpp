@@ -1,6 +1,6 @@
 // legality_test.cpp - the no-cycle guard of select().
 //
-// DESIGN.md documents one deliberate deviation from the paper's abbreviated
+// docs/DESIGN.md §1 documents one deliberate deviation from the paper's abbreviated
 // pseudocode: line 60 guards a position with the *input* graph's order
 // (v <=G cur / cur.out[k] <=G v), but a position can be illegal through
 // paths that use artificial state edges only. These tests (1) construct
@@ -111,7 +111,7 @@ TEST(Legality, GuardExactlyCharacterizesAcyclicity) {
 }
 
 TEST(Legality, SelectNeverFailsOnAnyFeedOrder) {
-  // DESIGN.md's existence argument: a legal slot always exists in every
+  // docs/DESIGN.md §1's existence argument: a legal slot always exists in every
   // compatible thread. Stress with many random orders including
   // anti-topological ones.
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
