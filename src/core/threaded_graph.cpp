@@ -1,6 +1,7 @@
 #include "core/threaded_graph.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "util/check.h"
@@ -9,7 +10,16 @@ namespace softsched::core {
 
 namespace {
 constexpr std::int32_t no_node = -1;
+
+/// SOFTSCHED_PARANOID in the environment turns every incremental closure
+/// sync and dirty-region relabel into a self-checking one that
+/// cross-validates against the from-scratch computation and throws on
+/// divergence. Meant for tests and bug triage, not production runs.
+bool paranoid_checks_enabled() {
+  static const bool enabled = std::getenv("SOFTSCHED_PARANOID") != nullptr;
+  return enabled;
 }
+} // namespace
 
 threaded_graph::threaded_graph(const precedence_graph& g, int thread_count)
     : threaded_graph(g, std::vector<int>(static_cast<std::size_t>(thread_count), 0),
@@ -59,13 +69,18 @@ int threaded_graph::thread_tag(int thread) const {
 }
 
 std::vector<vertex_id> threaded_graph::thread_sequence(int thread) const {
-  SOFTSCHED_EXPECT(thread >= 0 && thread < k_, "thread index out of range");
   std::vector<vertex_id> seq;
+  thread_sequence(thread, seq);
+  return seq;
+}
+
+void threaded_graph::thread_sequence(int thread, std::vector<vertex_id>& out) const {
+  SOFTSCHED_EXPECT(thread >= 0 && thread < k_, "thread index out of range");
+  out.clear();
   for (std::int32_t cur = out_slot(s_[static_cast<std::size_t>(thread)], thread);
        cur != t_[static_cast<std::size_t>(thread)]; cur = out_slot(cur, thread)) {
-    seq.push_back(nodes_[static_cast<std::size_t>(cur)].gv);
+    out.push_back(nodes_[static_cast<std::size_t>(cur)].gv);
   }
-  return seq;
 }
 
 int threaded_graph::add_thread(int tag) {
@@ -99,15 +114,27 @@ int threaded_graph::add_thread(int tag) {
   in_slot(t, k) = s;
   s_.push_back(s);
   t_.push_back(t);
-  labels_valid_ = false;
+  // The fresh sentinels are born with their exact labels (sdist = tdist = 0
+  // on an empty thread) and nothing else moves, so labels_valid_ survives.
   return k;
 }
 
 void threaded_graph::refresh_closure() {
-  if (!closure_ || closure_revision_ != g_->revision()) {
-    closure_.emplace(*g_); // validates acyclicity of G as a side effect
-    closure_revision_ = g_->revision();
+  const graph::graph_cursor now = g_->cursor();
+  if (closure_ && closure_cursor_ == now) return;
+  if (closure_ && incremental_ && closure_cursor_.rebuild_epoch == now.rebuild_epoch) {
+    // The source graph only grew since the last sync: replay the growth
+    // instead of rebuilding the whole O(V*E/64) bitset.
+    stats_.closure_rows_touched += closure_->grow_from(*g_, closure_cursor_);
+    ++stats_.closure_syncs;
+    if (paranoid_checks_enabled() &&
+        !closure_->equals(graph::transitive_closure(*g_)))
+      throw graph_error("paranoid: incremental closure diverged from a rebuild");
+    return;
   }
+  closure_.emplace(*g_); // validates acyclicity of G as a side effect
+  closure_cursor_ = now;
+  ++stats_.closure_rebuilds;
 }
 
 void threaded_graph::state_topo_order() {
@@ -157,7 +184,104 @@ void threaded_graph::label() {
     }
     nodes_[static_cast<std::size_t>(*it)].tdist = best + nodes_[static_cast<std::size_t>(*it)].delay;
   }
+  diameter_cache_ = 0;
+  for (const node& nd : nodes_)
+    diameter_cache_ = std::max(diameter_cache_, nd.sdist + nd.tdist - nd.delay);
   labels_valid_ = true;
+}
+
+void threaded_graph::incremental_relabel(std::int32_t n) {
+  const std::size_t count = nodes_.size();
+  // Seed: the spliced node's labels from its (unchanged) neighbours.
+  {
+    node& nd = nodes_[static_cast<std::size_t>(n)];
+    long long src = 0;
+    long long snk = 0;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t p = in_slot(n, k);
+      if (p != no_node) src = std::max(src, nodes_[static_cast<std::size_t>(p)].sdist);
+      const std::int32_t q = out_slot(n, k);
+      if (q != no_node) snk = std::max(snk, nodes_[static_cast<std::size_t>(q)].tdist);
+    }
+    nd.sdist = src + nd.delay;
+    nd.tdist = snk + nd.delay;
+    diameter_cache_ = std::max(diameter_cache_, nd.sdist + nd.tdist - nd.delay);
+  }
+  ++stats_.nodes_relabeled;
+
+  // Forward cone: push sdist increases along out slots. Every label change
+  // a commit causes is an increase through n, so max-propagation from n is
+  // exact (docs/DESIGN.md §4). Only select()-produced positions reach this
+  // code, so the state stays acyclic; as defense in depth, a cycle (which
+  // would necessarily pass through n - all new edges are incident to it)
+  // is still detected when propagation laps back into n, and demotes to
+  // invalidated labels so the next label() reports it.
+  scratch_queued_.assign(count, 0);
+  scratch_queue_.clear();
+  scratch_queue_.push_back(n);
+  scratch_queued_[static_cast<std::size_t>(n)] = 1;
+  for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
+    const std::int32_t u = scratch_queue_[head];
+    scratch_queued_[static_cast<std::size_t>(u)] = 0;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t w = out_slot(u, k);
+      if (w == no_node) continue;
+      if (w == n && u != n) { // every queued u is downstream of n: a cycle
+        labels_valid_ = false;
+        return;
+      }
+      node& wd = nodes_[static_cast<std::size_t>(w)];
+      const long long cand = nodes_[static_cast<std::size_t>(u)].sdist + wd.delay;
+      if (cand <= wd.sdist) continue;
+      wd.sdist = cand;
+      diameter_cache_ = std::max(diameter_cache_, wd.sdist + wd.tdist - wd.delay);
+      ++stats_.nodes_relabeled;
+      if (!scratch_queued_[static_cast<std::size_t>(w)]) {
+        scratch_queued_[static_cast<std::size_t>(w)] = 1;
+        scratch_queue_.push_back(w);
+      }
+    }
+  }
+
+  // Backward cone: tdist increases along in slots.
+  scratch_queued_.assign(count, 0);
+  scratch_queue_.clear();
+  scratch_queue_.push_back(n);
+  scratch_queued_[static_cast<std::size_t>(n)] = 1;
+  for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
+    const std::int32_t u = scratch_queue_[head];
+    scratch_queued_[static_cast<std::size_t>(u)] = 0;
+    for (int k = 0; k < k_; ++k) {
+      const std::int32_t p = in_slot(u, k);
+      if (p == no_node) continue;
+      if (p == n && u != n) { // every queued u is upstream of n: a cycle
+        labels_valid_ = false;
+        return;
+      }
+      node& pd = nodes_[static_cast<std::size_t>(p)];
+      const long long cand = nodes_[static_cast<std::size_t>(u)].tdist + pd.delay;
+      if (cand <= pd.tdist) continue;
+      pd.tdist = cand;
+      diameter_cache_ = std::max(diameter_cache_, pd.sdist + pd.tdist - pd.delay);
+      ++stats_.nodes_relabeled;
+      if (!scratch_queued_[static_cast<std::size_t>(p)]) {
+        scratch_queued_[static_cast<std::size_t>(p)] = 1;
+        scratch_queue_.push_back(p);
+      }
+    }
+  }
+}
+
+bool threaded_graph::labels_match_full_relabel() {
+  label(); // materialize the (possibly incrementally maintained) labels
+  std::vector<std::pair<long long, long long>> current;
+  current.reserve(nodes_.size());
+  for (const node& nd : nodes_) current.emplace_back(nd.sdist, nd.tdist);
+  labels_valid_ = false;
+  label(); // forced full pass; also repairs the labels on divergence
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (current[i] != std::make_pair(nodes_[i].sdist, nodes_[i].tdist)) return false;
+  return true;
 }
 
 void threaded_graph::compute_legality_and_intrinsics(vertex_id v, long long& intrinsic_src,
@@ -170,48 +294,73 @@ void threaded_graph::compute_legality_and_intrinsics(vertex_id v, long long& int
   intrinsic_snk = 0;
   // Seeds: scheduled transitive predecessors/successors of v in G
   // (Algorithm 1 lines 53-54 compute the intrinsic distances over exactly
-  // these sets).
+  // these sets). Successors come from v's closure row (word iteration);
+  // predecessors need the column, one bit test per scheduled node.
+  scratch_queue_.clear();
+  scratch_latest_pred_.assign(static_cast<std::size_t>(k_), no_node);
+  scratch_earliest_succ_.assign(static_cast<std::size_t>(k_), no_node);
+  closure_->for_each_strictly_reachable(v, [&](vertex_id w) {
+    const std::int32_t n = node_of(w);
+    if (n == no_node) return;
+    intrinsic_snk = std::max(intrinsic_snk, nodes_[static_cast<std::size_t>(n)].tdist);
+    scratch_succ_reach_[static_cast<std::size_t>(n)] = 1;
+    scratch_queue_.push_back(n);
+    const auto j = static_cast<std::size_t>(nodes_[static_cast<std::size_t>(n)].thread);
+    if (scratch_earliest_succ_[j] == no_node ||
+        nodes_[static_cast<std::size_t>(n)].rank <
+            nodes_[static_cast<std::size_t>(scratch_earliest_succ_[j])].rank)
+      scratch_earliest_succ_[j] = n;
+  });
   for (std::size_t n = 0; n < count; ++n) {
     const vertex_id gv = nodes_[n].gv;
-    if (!gv.valid()) continue;
+    if (!gv.valid() || scratch_succ_reach_[n]) continue;
     if (closure_->strictly_reaches(gv, v)) {
       intrinsic_src = std::max(intrinsic_src, nodes_[n].sdist);
       scratch_pred_reach_[n] = 1;
-    } else if (closure_->strictly_reaches(v, gv)) {
-      intrinsic_snk = std::max(intrinsic_snk, nodes_[n].tdist);
-      scratch_succ_reach_[n] = 1;
+      const auto j = static_cast<std::size_t>(nodes_[n].thread);
+      if (scratch_latest_pred_[j] == no_node ||
+          nodes_[n].rank > nodes_[static_cast<std::size_t>(scratch_latest_pred_[j])].rank)
+        scratch_latest_pred_[j] = static_cast<std::int32_t>(n);
     }
   }
-  // succ_reach[n]: some scheduled successor of v reaches n in the state.
-  // Forward propagation in state-topological order.
-  for (const std::int32_t n : scratch_topo_) {
-    if (scratch_succ_reach_[static_cast<std::size_t>(n)]) continue;
+  // succ_reach[n]: some scheduled successor of v reaches n in the state -
+  // the forward closure of the seed set. A plain BFS computes it touching
+  // only the reached cone (no topological order needed: the mark is
+  // monotone).
+  for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
+    const std::int32_t u = scratch_queue_[head];
     for (int k = 0; k < k_; ++k) {
-      const std::int32_t p = in_slot(n, k);
-      if (p != no_node && scratch_succ_reach_[static_cast<std::size_t>(p)]) {
-        scratch_succ_reach_[static_cast<std::size_t>(n)] = 1;
-        break;
-      }
+      const std::int32_t w = out_slot(u, k);
+      if (w == no_node || scratch_succ_reach_[static_cast<std::size_t>(w)]) continue;
+      scratch_succ_reach_[static_cast<std::size_t>(w)] = 1;
+      scratch_queue_.push_back(w);
     }
   }
-  // pred_reach[n]: n reaches some scheduled predecessor of v in the state.
-  for (auto it = scratch_topo_.rbegin(); it != scratch_topo_.rend(); ++it) {
-    if (scratch_pred_reach_[static_cast<std::size_t>(*it)]) continue;
+  // pred_reach[n]: n reaches some scheduled predecessor of v in the state -
+  // the backward closure, same BFS along in slots.
+  scratch_queue_.clear();
+  for (std::size_t n = 0; n < count; ++n)
+    if (scratch_pred_reach_[n]) scratch_queue_.push_back(static_cast<std::int32_t>(n));
+  for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
+    const std::int32_t u = scratch_queue_[head];
     for (int k = 0; k < k_; ++k) {
-      const std::int32_t q = out_slot(*it, k);
-      if (q != no_node && scratch_pred_reach_[static_cast<std::size_t>(q)]) {
-        scratch_pred_reach_[static_cast<std::size_t>(*it)] = 1;
-        break;
-      }
+      const std::int32_t p = in_slot(u, k);
+      if (p == no_node || scratch_pred_reach_[static_cast<std::size_t>(p)]) continue;
+      scratch_pred_reach_[static_cast<std::size_t>(p)] = 1;
+      scratch_queue_.push_back(p);
     }
   }
 }
 
 insert_position threaded_graph::select(vertex_id v) {
+  refresh_closure();
+  return select_impl(v);
+}
+
+insert_position threaded_graph::select_impl(vertex_id v) {
   g_->require_vertex(v);
   SOFTSCHED_EXPECT(!scheduled(v), "select: vertex is already scheduled");
   ++stats_.select_calls;
-  refresh_closure();
 
   long long intrinsic_src = 0;
   long long intrinsic_snk = 0;
@@ -351,12 +500,24 @@ void threaded_graph::ensure_cross_edge(std::int32_t u, std::int32_t w) {
 }
 
 void threaded_graph::commit(const insert_position& pos, vertex_id v) {
+  refresh_closure();
+  commit_impl(pos, v, /*trusted_legal=*/false);
+}
+
+void threaded_graph::commit_impl(const insert_position& pos, vertex_id v,
+                                 bool trusted_legal) {
   g_->require_vertex(v);
   SOFTSCHED_EXPECT(!scheduled(v), "commit: vertex is already scheduled");
   SOFTSCHED_EXPECT(pos.valid() && pos.thread < k_, "commit: invalid position");
   SOFTSCHED_EXPECT(thread_tags_[static_cast<std::size_t>(pos.thread)] == vertex_tag_(v),
                    "commit: thread is not compatible with the vertex");
-  refresh_closure();
+  // Whether the labels can be patched in place afterwards instead of
+  // invalidated: they must be exact now, incremental mode on, and the
+  // position must come from select() (trusted_legal). A *manual* commit may
+  // be illegal and close a cycle; invalidating keeps the documented
+  // diagnosis path - the next label() throws on any cycle, including
+  // zero-weight ones the patch worklist's lap detector cannot see.
+  const bool patch_labels = labels_valid_ && incremental_ && trusted_legal;
 
   ++stats_.commits;
   const int k = pos.thread;
@@ -386,25 +547,35 @@ void threaded_graph::commit(const insert_position& pos, vertex_id v) {
   // Lines 28-41: re-route cross edges. Only the *latest* scheduled
   // G-predecessor per thread (and the earliest successor) can carry a
   // non-implied edge; all other relations follow through that thread's
-  // chain.
-  std::vector<std::int32_t> latest_pred(static_cast<std::size_t>(k_), no_node);
-  std::vector<std::int32_t> earliest_succ(static_cast<std::size_t>(k_), no_node);
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const vertex_id gv = nodes_[i].gv;
-    if (!gv.valid() || static_cast<std::int32_t>(i) == n) continue;
-    const auto j = static_cast<std::size_t>(nodes_[i].thread);
-    if (closure_->strictly_reaches(gv, v)) {
-      if (latest_pred[j] == no_node ||
-          nodes_[i].rank > nodes_[static_cast<std::size_t>(latest_pred[j])].rank)
-        latest_pred[j] = static_cast<std::int32_t>(i);
-    } else if (closure_->strictly_reaches(v, gv)) {
-      if (earliest_succ[j] == no_node ||
-          nodes_[i].rank < nodes_[static_cast<std::size_t>(earliest_succ[j])].rank)
-        earliest_succ[j] = static_cast<std::int32_t>(i);
+  // chain. On the schedule() path select_impl's legality scan already
+  // computed the per-thread extremes on this very state (the splice cannot
+  // change other nodes' thread or rank order); recompute for manual
+  // commits, and in from-scratch mode for baseline fidelity.
+  if (!trusted_legal || !incremental_) {
+    scratch_latest_pred_.assign(static_cast<std::size_t>(k_), no_node);
+    scratch_earliest_succ_.assign(static_cast<std::size_t>(k_), no_node);
+    closure_->for_each_strictly_reachable(v, [&](vertex_id gw) {
+      const std::int32_t w = node_of(gw);
+      if (w == no_node || w == n) return;
+      const auto j = static_cast<std::size_t>(nodes_[static_cast<std::size_t>(w)].thread);
+      if (scratch_earliest_succ_[j] == no_node ||
+          nodes_[static_cast<std::size_t>(w)].rank <
+              nodes_[static_cast<std::size_t>(scratch_earliest_succ_[j])].rank)
+        scratch_earliest_succ_[j] = w;
+    });
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const vertex_id gv = nodes_[i].gv;
+      if (!gv.valid() || static_cast<std::int32_t>(i) == n) continue;
+      if (closure_->strictly_reaches(gv, v)) {
+        const auto j = static_cast<std::size_t>(nodes_[i].thread);
+        if (scratch_latest_pred_[j] == no_node ||
+            nodes_[i].rank > nodes_[static_cast<std::size_t>(scratch_latest_pred_[j])].rank)
+          scratch_latest_pred_[j] = static_cast<std::int32_t>(i);
+      }
     }
   }
   for (int j = 0; j < k_; ++j) {
-    const std::int32_t p = latest_pred[static_cast<std::size_t>(j)];
+    const std::int32_t p = scratch_latest_pred_[static_cast<std::size_t>(j)];
     if (p == no_node) continue;
     if (j == k) {
       // Same thread: the chain orders them; legality guaranteed p < v.
@@ -416,7 +587,7 @@ void threaded_graph::commit(const insert_position& pos, vertex_id v) {
     }
   }
   for (int j = 0; j < k_; ++j) {
-    const std::int32_t q = earliest_succ[static_cast<std::size_t>(j)];
+    const std::int32_t q = scratch_earliest_succ_[static_cast<std::size_t>(j)];
     if (q == no_node) continue;
     if (j == k) {
       SOFTSCHED_EXPECT(nodes_[static_cast<std::size_t>(q)].rank >
@@ -426,7 +597,13 @@ void threaded_graph::commit(const insert_position& pos, vertex_id v) {
       ensure_cross_edge(n, q);
     }
   }
-  labels_valid_ = false;
+  if (patch_labels) {
+    incremental_relabel(n); // resets labels_valid_ itself on a detected cycle
+    if (labels_valid_ && paranoid_checks_enabled() && !labels_match_full_relabel())
+      throw graph_error("paranoid: dirty-region relabel diverged from full label()");
+  } else {
+    labels_valid_ = false;
+  }
 }
 
 bool threaded_graph::position_legal(vertex_id v, const insert_position& pos) {
@@ -459,7 +636,8 @@ insert_position threaded_graph::position_after(vertex_id v) const {
 
 void threaded_graph::schedule(vertex_id v) {
   if (scheduled(v)) return; // Definition 3: v already in V_S leaves S unchanged
-  commit(select(v), v);
+  refresh_closure();        // single guard for the whole select + commit pair
+  commit_impl(select_impl(v), v, /*trusted_legal=*/true);
 }
 
 void threaded_graph::schedule_all(const std::vector<vertex_id>& meta_order) {
@@ -467,10 +645,11 @@ void threaded_graph::schedule_all(const std::vector<vertex_id>& meta_order) {
 }
 
 long long threaded_graph::diameter() {
+  // label() refreshes diameter_cache_ on a full pass; incremental_relabel
+  // keeps it current (sound because labels never decrease: the maximum is
+  // max(previous diameter, contributions of the patched nodes)).
   label();
-  long long best = 0;
-  for (const node& nd : nodes_) best = std::max(best, nd.sdist + nd.tdist - nd.delay);
-  return best;
+  return diameter_cache_;
 }
 
 long long threaded_graph::source_distance(vertex_id v) {
@@ -521,6 +700,13 @@ bool threaded_graph::state_precedes(vertex_id a, vertex_id b) const {
 
 std::vector<std::pair<vertex_id, vertex_id>> threaded_graph::state_edges() const {
   std::vector<std::pair<vertex_id, vertex_id>> edges;
+  state_edges(edges);
+  return edges;
+}
+
+void threaded_graph::state_edges(std::vector<std::pair<vertex_id, vertex_id>>& edges) const {
+  edges.clear();
+  edges.reserve(scheduled_count_ * 2); // chain edge + typical cross-edge count
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i].gv.valid()) continue;
     for (int k = 0; k < k_; ++k) {
@@ -529,7 +715,6 @@ std::vector<std::pair<vertex_id, vertex_id>> threaded_graph::state_edges() const
       edges.emplace_back(nodes_[i].gv, nodes_[static_cast<std::size_t>(w)].gv);
     }
   }
-  return edges;
 }
 
 void threaded_graph::check_invariants() const {

@@ -53,8 +53,12 @@ struct schedule_stats {
   std::uint64_t positions_scanned = 0;  ///< candidate slots costed in select()
   std::uint64_t positions_rejected = 0; ///< slots skipped by the legality guard
   std::uint64_t commits = 0;
-  std::uint64_t label_passes = 0;       ///< forward+backward relabelings
+  std::uint64_t label_passes = 0;       ///< full forward+backward relabelings
   std::uint64_t cross_edge_updates = 0; ///< Figure-2 rule applications
+  std::uint64_t nodes_relabeled = 0;    ///< label writes by dirty-region relabeling
+  std::uint64_t closure_rebuilds = 0;   ///< from-scratch transitive-closure builds
+  std::uint64_t closure_syncs = 0;      ///< incremental closure catch-ups
+  std::uint64_t closure_rows_touched = 0; ///< bitset rows updated by incremental syncs
 };
 
 /// The K-threaded scheduling state over a precedence graph G, plus the
@@ -68,7 +72,9 @@ struct schedule_stats {
 ///
 /// The referenced graph may *grow* after construction (the refinement
 /// engine inserts spill/wire/move vertices); the transitive-closure cache
-/// refreshes itself via precedence_graph::revision().
+/// catches up incrementally via precedence_graph::cursor() while the graph
+/// only grew, and rebuilds from scratch after an arbitrary change (see
+/// docs/DESIGN.md §4).
 class threaded_graph {
 public:
   using tag_fn = std::function<int(vertex_id)>;
@@ -149,6 +155,10 @@ public:
   /// Scheduled operations of a thread, in thread order.
   [[nodiscard]] std::vector<vertex_id> thread_sequence(int thread) const;
 
+  /// Allocation-free variant for hot loops: clears `out` and fills it with
+  /// the thread's operations, reusing the buffer's capacity.
+  void thread_sequence(int thread, std::vector<vertex_id>& out) const;
+
   /// ||S||: the critical-path length of the current state (Definition 1's
   /// diameter). Refreshes labels if needed.
   [[nodiscard]] long long diameter();
@@ -173,6 +183,9 @@ public:
   /// `this` spanned by V \ s \ t".
   [[nodiscard]] std::vector<std::pair<vertex_id, vertex_id>> state_edges() const;
 
+  /// Allocation-free variant: clears `out` and fills it, reusing capacity.
+  void state_edges(std::vector<std::pair<vertex_id, vertex_id>>& out) const;
+
   /// Structural self-check of every invariant (thread partition, total
   /// order per thread, slot pairing, degree bound, acyclicity, correctness
   /// condition w.r.t. G). Throws graph_error with a description on
@@ -182,6 +195,25 @@ public:
   /// Cumulative operation counters (see schedule_stats).
   [[nodiscard]] const schedule_stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = schedule_stats{}; }
+
+  // -- incremental-maintenance controls ---------------------------------
+
+  /// Toggles the incremental closure sync and dirty-region relabeling.
+  /// Disabled, every commit invalidates all labels and every source-graph
+  /// change rebuilds the closure from scratch - the pre-incremental
+  /// behaviour, kept as the measurable baseline for bench/perf_harness and
+  /// as an escape hatch. Results are identical either way; only cost
+  /// differs.
+  void set_incremental(bool enabled) noexcept { incremental_ = enabled; }
+  [[nodiscard]] bool incremental() const noexcept { return incremental_; }
+
+  /// Cross-validates the current (possibly incrementally maintained)
+  /// labels against a forced full label() pass. Returns true iff every
+  /// sdist/tdist matches. The equivalence tests call this after every
+  /// commit; setting the SOFTSCHED_PARANOID environment variable makes
+  /// every commit/closure-sync self-check the same way and throw
+  /// graph_error on divergence.
+  [[nodiscard]] bool labels_match_full_relabel();
 
 private:
   struct node {
@@ -208,14 +240,36 @@ private:
   /// tests). O(K * |V|).
   void label();
 
-  /// Recomputes <=G if the source graph changed.
+  /// Dirty-region relabeling after commit() spliced node n: only the cone
+  /// reachable from n (forward for sdist, backward for tdist) is updated
+  /// via a bounded worklist. Sound because every label change a commit can
+  /// cause is an *increase* routed through n - the chain/cross edges the
+  /// Figure-2 rules drop are implied by at-least-as-long paths, so no
+  /// label ever decreases (docs/DESIGN.md §4). Requires labels_valid_.
+  void incremental_relabel(std::int32_t n);
+
+  /// Brings <=G up to date with the source graph: no-op when in sync,
+  /// incremental grow_from() while the graph only grew, full rebuild
+  /// otherwise. Called once per public entry point (not per internal
+  /// stage).
   void refresh_closure();
+
+  // refresh_closure-free bodies; public wrappers refresh once and delegate.
+  // trusted_legal marks positions produced by select_impl on the current
+  // state (schedule()); only those commits may patch labels in place - a
+  // manual commit can be illegal, and invalidation keeps the old
+  // cycle-diagnosis path intact.
+  [[nodiscard]] insert_position select_impl(vertex_id v);
+  void commit_impl(const insert_position& pos, vertex_id v, bool trusted_legal);
 
   /// Seeds + propagates the two legality predicates for inserting v:
   ///   succ_reach[n]: some scheduled x with v <G x satisfies x <=S n
   ///   pred_reach[n]: some scheduled p with p <G v satisfies n <=S p
   /// and the intrinsic source/sink distances of v (Algorithm 1 lines
-  /// 53-54). Fills scratch_succ_reach_/scratch_pred_reach_.
+  /// 53-54). Fills scratch_succ_reach_/scratch_pred_reach_, plus
+  /// scratch_latest_pred_/scratch_earliest_succ_ (per-thread extremes of
+  /// the seed sets) so a commit_impl immediately following on the same
+  /// state can skip its own closure scan.
   void compute_legality_and_intrinsics(vertex_id v, long long& intrinsic_src,
                                        long long& intrinsic_snk);
 
@@ -244,9 +298,11 @@ private:
   std::size_t scheduled_count_ = 0;
 
   std::optional<graph::transitive_closure> closure_;
-  std::uint64_t closure_revision_ = ~std::uint64_t{0};
+  graph::graph_cursor closure_cursor_;
 
   bool labels_valid_ = false;
+  bool incremental_ = true;
+  long long diameter_cache_ = 0; // valid iff labels_valid_; see diameter()
   schedule_stats stats_;
 
   // Scratch buffers reused across schedule() calls to stay allocation-free
@@ -256,6 +312,10 @@ private:
   std::vector<std::int32_t> scratch_degree_;
   std::vector<std::uint8_t> scratch_succ_reach_;
   std::vector<std::uint8_t> scratch_pred_reach_;
+  std::vector<std::int32_t> scratch_queue_;
+  std::vector<std::uint8_t> scratch_queued_;
+  std::vector<std::int32_t> scratch_latest_pred_;   // per thread, see
+  std::vector<std::int32_t> scratch_earliest_succ_; // compute_legality_and_intrinsics
 };
 
 } // namespace softsched::core

@@ -29,11 +29,12 @@ void precedence_graph::add_edge(vertex_id from, vertex_id to) {
   if (std::find(out.begin(), out.end(), to) != out.end()) return; // set semantics
   out.push_back(to);
   in_[to.value()].push_back(from);
+  edge_log_.emplace_back(from, to);
   ++edge_count_;
   ++revision_;
 }
 
-bool precedence_graph::remove_edge(vertex_id from, vertex_id to) {
+bool precedence_graph::remove_edge_impl(vertex_id from, vertex_id to) {
   require_vertex(from);
   require_vertex(to);
   auto& out = out_[from.value()];
@@ -45,6 +46,16 @@ bool precedence_graph::remove_edge(vertex_id from, vertex_id to) {
   --edge_count_;
   ++revision_;
   return true;
+}
+
+bool precedence_graph::remove_edge(vertex_id from, vertex_id to) {
+  const bool removed = remove_edge_impl(from, to);
+  if (removed) ++rebuild_epoch_;
+  return removed;
+}
+
+bool precedence_graph::remove_edge_reach_preserved(vertex_id from, vertex_id to) {
+  return remove_edge_impl(from, to);
 }
 
 bool precedence_graph::has_edge(vertex_id from, vertex_id to) const {

@@ -34,8 +34,11 @@ std::vector<vertex_id> insert_spill_ops(ir::dfg& d, vertex_id value) {
   for (const vertex_id c : g.succs(value))
     if (c != st) consumers.push_back(c);
 
+  // The rewires below are reach-preserving (value ->* c survives through the
+  // store/load pair), so the scheduler's closure cache stays on its
+  // incremental path instead of rebuilding per refinement.
   for (const vertex_id c : consumers) {
-    g.remove_edge(value, c);
+    g.remove_edge_reach_preserved(value, c);
     const vertex_id ld = d.add_op(ir::op_kind::load, {st}, derived_name(d, c, "ld"));
     g.add_edge(ld, c);
     inserted.push_back(ld);
@@ -46,7 +49,7 @@ std::vector<vertex_id> insert_spill_ops(ir::dfg& d, vertex_id value) {
 vertex_id insert_wire_op(ir::dfg& d, vertex_id from, vertex_id to, int delay) {
   auto& g = d.graph();
   SOFTSCHED_EXPECT(g.has_edge(from, to), "wire refinement needs an existing dependence");
-  g.remove_edge(from, to);
+  g.remove_edge_reach_preserved(from, to); // replaced by from -> wd -> to
   const vertex_id wd = d.add_wire(delay, {from}, derived_name(d, to, "wd"));
   g.add_edge(wd, to);
   return wd;
@@ -55,7 +58,7 @@ vertex_id insert_wire_op(ir::dfg& d, vertex_id from, vertex_id to, int delay) {
 vertex_id insert_move_op(ir::dfg& d, vertex_id from, vertex_id to) {
   auto& g = d.graph();
   SOFTSCHED_EXPECT(g.has_edge(from, to), "move refinement needs an existing dependence");
-  g.remove_edge(from, to);
+  g.remove_edge_reach_preserved(from, to); // replaced by from -> mv -> to
   const vertex_id mv = d.add_op(ir::op_kind::move, {from}, derived_name(d, to, "mv"));
   g.add_edge(mv, to);
   return mv;

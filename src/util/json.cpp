@@ -1,0 +1,129 @@
+#include "util/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace softsched {
+
+void json_writer::newline_indent() {
+  *os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+}
+
+void json_writer::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  SOFTSCHED_EXPECT(stack_.empty() ? !wrote_root_ : stack_.back() == frame::array,
+                   "json: value needs a key inside an object");
+  if (!stack_.empty()) {
+    if (has_items_.back()) *os_ << ',';
+    has_items_.back() = true;
+    newline_indent();
+  }
+  wrote_root_ = true;
+}
+
+void json_writer::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(frame::object);
+  has_items_.push_back(false);
+}
+
+void json_writer::end_object() {
+  SOFTSCHED_EXPECT(!stack_.empty() && stack_.back() == frame::object && !key_pending_,
+                   "json: end_object without matching begin_object");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  *os_ << '}';
+}
+
+void json_writer::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(frame::array);
+  has_items_.push_back(false);
+}
+
+void json_writer::end_array() {
+  SOFTSCHED_EXPECT(!stack_.empty() && stack_.back() == frame::array && !key_pending_,
+                   "json: end_array without matching begin_array");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  *os_ << ']';
+}
+
+void json_writer::key(std::string_view name) {
+  SOFTSCHED_EXPECT(!stack_.empty() && stack_.back() == frame::object && !key_pending_,
+                   "json: key outside of an object");
+  if (has_items_.back()) *os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  *os_ << '"';
+  write_escaped(name);
+  *os_ << "\": ";
+  key_pending_ = true;
+}
+
+void json_writer::write_escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+    case '"': *os_ << "\\\""; break;
+    case '\\': *os_ << "\\\\"; break;
+    case '\n': *os_ << "\\n"; break;
+    case '\r': *os_ << "\\r"; break;
+    case '\t': *os_ << "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        constexpr char hex[] = "0123456789abcdef";
+        *os_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+      } else {
+        *os_ << c;
+      }
+    }
+  }
+}
+
+void json_writer::value(std::string_view s) {
+  before_value();
+  *os_ << '"';
+  write_escaped(s);
+  *os_ << '"';
+}
+
+void json_writer::value(bool b) {
+  before_value();
+  *os_ << (b ? "true" : "false");
+}
+
+void json_writer::value(double d) {
+  before_value();
+  SOFTSCHED_EXPECT(std::isfinite(d), "json: non-finite number");
+  std::array<char, 32> buf{};
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  SOFTSCHED_EXPECT(ec == std::errc(), "json: number formatting failed");
+  *os_ << std::string_view(buf.data(), static_cast<std::size_t>(end - buf.data()));
+}
+
+void json_writer::value(long long i) {
+  before_value();
+  *os_ << i;
+}
+
+void json_writer::value(unsigned long long i) {
+  before_value();
+  *os_ << i;
+}
+
+bool json_writer::done() const noexcept { return wrote_root_ && stack_.empty() && !key_pending_; }
+
+} // namespace softsched

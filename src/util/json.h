@@ -1,0 +1,75 @@
+// json.h - minimal streaming JSON writer for the benchmark harnesses
+// (BENCH_softsched.json). Emits pretty-printed, deterministic output with
+// correct string escaping and comma placement; no DOM, no parsing. The CI
+// smoke job validates the result with an external JSON parser, so the
+// writer enforces well-formedness structurally (keys only inside objects,
+// values only where a value is expected) via precondition checks.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace softsched {
+
+/// Streaming JSON writer. Usage:
+///
+///   json_writer j(os);
+///   j.begin_object();
+///     j.key("name"); j.value("ewf");
+///     j.key("sizes"); j.begin_array();
+///       j.value(1); j.value(2);
+///     j.end_array();
+///   j.end_object();
+///
+/// Destruction does not auto-close containers; callers finish what they
+/// open (done() checks).
+class json_writer {
+public:
+  explicit json_writer(std::ostream& os) : os_(&os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member name; must be directly followed by a value/container.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(long long i);
+  void value(unsigned long long i);
+  void value(int i) { value(static_cast<long long>(i)); }
+  void value(std::size_t i) { value(static_cast<unsigned long long>(i)); }
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void member(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once every opened container has been closed (and something was
+  /// written).
+  [[nodiscard]] bool done() const noexcept;
+
+private:
+  enum class frame : std::uint8_t { object, array };
+
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  std::ostream* os_;
+  std::vector<frame> stack_;
+  std::vector<bool> has_items_; // parallel to stack_
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+
+  void newline_indent();
+};
+
+} // namespace softsched

@@ -74,8 +74,9 @@ TEST(Binding, TwoWiresNeverShareAThread) {
 }
 
 TEST(Binding, SourceGraphGrowthRefreshesClosure) {
-  // The closure cache keys on precedence_graph::revision(): new vertices
-  // and edges added mid-schedule must be honoured by later selects.
+  // The closure cache syncs via precedence_graph::cursor(): new vertices
+  // and edges added mid-schedule must be honoured by later selects
+  // (incrementally while the graph only grows; see docs/DESIGN.md §4).
   const si::resource_library lib;
   si::dfg d("t", lib);
   const vertex_id a = d.add_op(si::op_kind::add, {}, "a");
