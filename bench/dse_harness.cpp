@@ -1,0 +1,54 @@
+// dse_harness - focused runner for the design-space-exploration scenario:
+// the same two fixed grids perf_harness embeds into BENCH_softsched.json
+// (see bench/dse_scenario.h), as a standalone document for quick
+// throughput/determinism checks without re-running the full perf suite.
+//
+// Usage: dse_harness [--out PATH] [--seed N] [--jobs N]
+//   --jobs 0 (default) uses every hardware thread.
+// Exits nonzero if any grid's 1-job and N-job runs diverged.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "dse_scenario.h"
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_dse.json";
+  std::uint64_t seed = 20260729;
+  unsigned jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: dse_harness [--out PATH] [--seed N] [--jobs N]\n";
+      return 2;
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+
+  softsched::json_writer j(out);
+  j.begin_object();
+  j.member("schema", "softsched-dse-v1");
+  j.member("seed", seed);
+  j.key("dse");
+  const bool ok = softsched::bench::write_dse_scenario(j, seed, jobs);
+  j.end_object();
+  out << '\n';
+  if (!j.done() || !out) {
+    std::cerr << "failed to emit well-formed JSON to " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "dse_harness: wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

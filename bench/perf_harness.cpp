@@ -33,6 +33,7 @@
 
 #include "core/hls_binding.h"
 #include "core/threaded_graph.h"
+#include "dse_scenario.h"
 #include "graph/generators.h"
 #include "ir/benchmarks.h"
 #include "meta/meta_schedule.h"
@@ -57,18 +58,9 @@ double millis_since(clock_type::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
 }
 
+// One spelling of the counter block everywhere (reports, harnesses).
 void write_stats(json_writer& j, const sc::schedule_stats& s) {
-  j.begin_object();
-  j.member("select_calls", s.select_calls);
-  j.member("positions_scanned", s.positions_scanned);
-  j.member("commits", s.commits);
-  j.member("label_passes", s.label_passes);
-  j.member("cross_edge_updates", s.cross_edge_updates);
-  j.member("nodes_relabeled", s.nodes_relabeled);
-  j.member("closure_rebuilds", s.closure_rebuilds);
-  j.member("closure_syncs", s.closure_syncs);
-  j.member("closure_rows_touched", s.closure_rows_touched);
-  j.end_object();
+  softsched::explore::write_schedule_stats(j, s);
 }
 
 // -- scenario 1: the paper benchmarks end to end ---------------------------
@@ -127,11 +119,8 @@ void run_random_dag_sweep(json_writer& j, bool quick, std::uint64_t seed) {
   j.begin_array();
   for (const int n : sizes) {
     rng rand(seed + static_cast<std::uint64_t>(n));
-    sg::layered_params lp;
-    lp.layers = std::max(8, n / 64);
-    lp.width = std::max(1, n / lp.layers);
-    lp.edge_prob = 0.15;
-    const sg::precedence_graph g = sg::layered_random(lp, rand);
+    const sg::precedence_graph g =
+        sg::layered_random(sg::layered_for_size(n, 0.15), rand);
     const std::vector<vertex_id> order = sm::meta_schedule(g, sm::meta_kind::list_priority);
     // Unit count scales with design size (a 10k-op design does not run on
     // the same 8 FUs as a 100-op one). This is also where the dirty-region
@@ -193,12 +182,10 @@ struct storm_result {
 storm_result run_generic_storm(int base_vertices, int steps, std::uint64_t seed,
                                bool incremental) {
   rng rand(seed);
-  sg::layered_params lp;
-  lp.layers = std::max(8, base_vertices / 50);
-  lp.width = std::max(1, base_vertices / lp.layers);
-  lp.edge_prob = 0.7; // dense dependences: the shape that makes closure
-                      // rebuilds (O(V*E/64) per change) the baseline's cost
-  sg::precedence_graph g = sg::layered_random(lp, rand);
+  // Dense dependences (p = 0.7): the shape that makes closure rebuilds
+  // (O(V*E/64) per change) the baseline's cost.
+  sg::precedence_graph g =
+      sg::layered_random(sg::layered_for_size(base_vertices, 0.7, 50), rand);
 
   sc::threaded_graph state(g, 4);
   state.set_incremental(incremental);
@@ -438,6 +425,12 @@ int main(int argc, char** argv) {
             return run_hls_storm(quick ? 16 : 32, quick ? 40 : 120, seed, inc);
           }) &&
        ok;
+
+  // Same fixed grids in quick and full mode (see dse_scenario.h), so the CI
+  // regression gate always compares like against like.
+  std::cerr << "perf_harness: design-space exploration...\n";
+  j.key("dse");
+  ok = softsched::bench::write_dse_scenario(j, seed) && ok;
 
   j.end_object(); // scenarios
   j.end_object(); // root

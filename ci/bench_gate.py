@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Validates a freshly generated BENCH JSON (schema + internal consistency,
+carrying forward the checks the old bench-smoke job ran inline) and then
+compares the headline metrics against the committed baseline with a
+generous tolerance: the job fails only when a metric regressed by more
+than 2x, so machine-to-machine noise between the committing host and the
+CI runner never trips it, while a real hot-path regression does.
+
+Usage: bench_gate.py BASELINE.json FRESH.json
+Prints a GitHub-flavoured markdown summary to stdout (pipe it into
+$GITHUB_STEP_SUMMARY); exits 1 on validation failure or regression.
+"""
+
+import json
+import sys
+
+# Metric -> (extractor, higher_is_better). Tolerance is uniformly 2x.
+TOLERANCE = 2.0
+
+
+def metrics(doc):
+    s = doc["scenarios"]
+    return {
+        "refinement_storm.speedup": s["refinement_storm"]["speedup"],
+        "hls_refinement_storm.speedup": s["hls_refinement_storm"]["speedup"],
+        "dse.points_per_sec_multi": s["dse"]["points_per_sec_multi"],
+        "dse.points_per_sec_single": s["dse"]["points_per_sec_single"],
+    }
+
+
+def validate(doc, label):
+    errors = []
+    if doc.get("schema") != "softsched-bench-v1":
+        errors.append(f"{label}: unexpected schema {doc.get('schema')!r}")
+        return errors
+    s = doc.get("scenarios", {})
+    if not s.get("paper_benchmarks") or not s.get("random_dag_sweep"):
+        errors.append(f"{label}: missing paper_benchmarks/random_dag_sweep")
+    for key in ("refinement_storm", "hls_refinement_storm"):
+        storm = s.get(key)
+        if not storm:
+            errors.append(f"{label}: missing scenario {key}")
+            continue
+        if not storm["modes_agree"]:
+            errors.append(f"{label}: {key}: incremental vs from-scratch diverged")
+        if storm["speedup"] <= 0:
+            errors.append(f"{label}: {key}: bad speedup")
+        if storm["incremental_stats"]["closure_rebuilds"] > 1:
+            errors.append(f"{label}: {key}: incremental run fell back to rebuilds")
+    dse = s.get("dse")
+    if not dse:
+        errors.append(f"{label}: missing scenario dse")
+    else:
+        if not dse["deterministic"]:
+            errors.append(f"{label}: dse: 1-job vs N-job outcomes diverged")
+        if dse["points_per_sec_multi"] <= 0:
+            errors.append(f"{label}: dse: bad throughput")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_gate.py BASELINE.json FRESH.json", file=sys.stderr)
+        return 2
+    # Anything malformed - truncated JSON, a partial scenario block, missing
+    # metrics - must come out as a readable gate failure in the summary, not
+    # a traceback, so the whole load/validate/extract phase shares one net.
+    errors = []
+    try:
+        with open(sys.argv[1]) as f:
+            baseline = json.load(f)
+        with open(sys.argv[2]) as f:
+            fresh = json.load(f)
+        errors = validate(fresh, "fresh")
+        base_metrics = metrics(baseline)
+        fresh_metrics = metrics(fresh)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+        errors.append(f"malformed benchmark document: {e!r}")
+        print("### Benchmark gate\n\n**Gate failed:**")
+        for err in errors:
+            print(f"- {err}")
+            print(f"bench_gate: {err}", file=sys.stderr)
+        return 1
+
+    # Only the headline metrics gate; the rest are reported for trend-reading.
+    gated = {"refinement_storm.speedup", "dse.points_per_sec_multi"}
+
+    print("### Benchmark gate (fail only on >%.0fx regression)\n" % TOLERANCE)
+    print("| Metric | Baseline | Fresh | Ratio | Gate |")
+    print("|---|---|---|---|---|")
+    for name in sorted(base_metrics):
+        base, now = base_metrics[name], fresh_metrics[name]
+        ratio = now / base if base > 0 else float("inf")
+        if name in gated and now < base / TOLERANCE:
+            status = "FAIL"
+            errors.append(
+                f"{name} regressed more than {TOLERANCE}x: {base:.3g} -> {now:.3g}"
+            )
+        else:
+            status = "ok" if name in gated else "info"
+        print(f"| {name} | {base:.3g} | {now:.3g} | {ratio:.2f}x | {status} |")
+
+    dse = fresh["scenarios"]["dse"]
+    print(
+        f"\ndse: {dse['total_points']} points on {dse['threads']} threads, "
+        f"multi-thread speedup {dse['speedup']:.2f}x, "
+        f"deterministic={dse['deterministic']}"
+    )
+
+    if errors:
+        print("\n**Gate failed:**")
+        for e in errors:
+            print(f"- {e}")
+        for e in errors:
+            print(f"bench_gate: {e}", file=sys.stderr)
+        return 1
+    print("\nGate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

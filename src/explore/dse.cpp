@@ -1,0 +1,207 @@
+#include "explore/dse.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/hls_binding.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace softsched::explore {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double millis_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+}
+
+bool same_allocation(const ir::resource_set& a, const ir::resource_set& b) {
+  return a.alus == b.alus && a.multipliers == b.multipliers &&
+         a.memory_ports == b.memory_ports;
+}
+
+bool same_stats(const core::schedule_stats& a, const core::schedule_stats& b) {
+  return a.select_calls == b.select_calls &&
+         a.positions_scanned == b.positions_scanned &&
+         a.positions_rejected == b.positions_rejected && a.commits == b.commits &&
+         a.label_passes == b.label_passes &&
+         a.cross_edge_updates == b.cross_edge_updates &&
+         a.nodes_relabeled == b.nodes_relabeled &&
+         a.closure_rebuilds == b.closure_rebuilds &&
+         a.closure_syncs == b.closure_syncs &&
+         a.closure_rows_touched == b.closure_rows_touched;
+}
+
+} // namespace
+
+bool point_result::same_schedule(const point_result& other) const {
+  return point.index == other.point.index &&
+         same_allocation(point.resources, other.point.resources) &&
+         point.mul_latency == other.point.mul_latency && feasible == other.feasible &&
+         infeasible_reason == other.infeasible_reason && ops == other.ops &&
+         latency == other.latency && area == other.area &&
+         start_times == other.start_times && unit_of == other.unit_of &&
+         same_stats(stats, other.stats);
+}
+
+std::size_t exploration_result::feasible_count() const {
+  std::size_t n = 0;
+  for (const point_result& p : points) n += p.feasible ? 1 : 0;
+  return n;
+}
+
+double exploration_result::points_per_sec() const {
+  return wall_ms > 0 ? static_cast<double>(points.size()) / (wall_ms / 1e3) : 0.0;
+}
+
+bool exploration_result::same_outcome(const exploration_result& other) const {
+  if (points.size() != other.points.size() || frontier != other.frontier) return false;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!points[i].same_schedule(other.points[i])) return false;
+  return true;
+}
+
+point_result run_point(const grid_spec& spec, const design_point& point,
+                       meta::meta_kind meta) {
+  SOFTSCHED_EXPECT(meta != meta::meta_kind::random,
+                   "exploration needs a deterministic meta schedule");
+  point_result r;
+  r.point = point;
+  r.area = allocation_area(point.resources);
+
+  // Everything below is private to this job: library, DFG, meta order,
+  // threaded state. Share-nothing is the determinism argument.
+  ir::resource_library library;
+  apply_point_latency(point, library);
+  const ir::dfg design = build_design(spec.design, library);
+  r.ops = design.op_count();
+
+  const auto t0 = clock_type::now();
+  try {
+    core::threaded_graph state = core::make_hls_state(design, point.resources);
+    state.schedule_all(meta::meta_schedule(design.graph(), meta));
+    r.latency = state.diameter();
+    r.start_times = state.asap_start_times();
+    r.unit_of.reserve(design.op_count());
+    for (const graph::vertex_id v : design.graph().vertices())
+      r.unit_of.push_back(state.thread_of(v));
+    r.stats = state.stats();
+    r.feasible = true;
+  } catch (const infeasible_error& e) {
+    r.infeasible_reason = e.what();
+  }
+  r.wall_ms = millis_since(t0);
+  return r;
+}
+
+exploration_result run_exploration(const grid_spec& spec,
+                                   const exploration_options& options) {
+  const std::vector<design_point> points = enumerate_grid(spec);
+  exploration_result out;
+  out.points.resize(points.size());
+  out.jobs = options.jobs < 1 ? thread_pool::hardware_workers()
+                              : static_cast<unsigned>(options.jobs);
+  // One job per point at most: extra workers would only sit idle, and an
+  // absurd --jobs value must not translate into thousands of threads.
+  if (out.jobs > points.size())
+    out.jobs = static_cast<unsigned>(points.empty() ? 1 : points.size());
+
+  const auto t0 = clock_type::now();
+  {
+    // Each job writes only its own pre-allocated slot, so the result vector
+    // needs no lock and the outcome no longer depends on completion order.
+    thread_pool pool(out.jobs);
+    parallel_for_index(&pool, points.size(), [&](std::size_t i) {
+      out.points[i] = run_point(spec, points[i], options.meta);
+    });
+  }
+  out.wall_ms = millis_since(t0);
+
+  std::vector<objective> objectives(out.points.size());
+  for (std::size_t i = 0; i < out.points.size(); ++i)
+    objectives[i] = objective{out.points[i].area, out.points[i].latency,
+                              out.points[i].feasible};
+  out.frontier = pareto_frontier(objectives);
+  return out;
+}
+
+void write_schedule_stats(json_writer& j, const core::schedule_stats& s) {
+  j.begin_object();
+  j.member("select_calls", s.select_calls);
+  j.member("positions_scanned", s.positions_scanned);
+  j.member("commits", s.commits);
+  j.member("label_passes", s.label_passes);
+  j.member("cross_edge_updates", s.cross_edge_updates);
+  j.member("nodes_relabeled", s.nodes_relabeled);
+  j.member("closure_rebuilds", s.closure_rebuilds);
+  j.member("closure_syncs", s.closure_syncs);
+  j.member("closure_rows_touched", s.closure_rows_touched);
+  j.end_object();
+}
+
+void write_report(json_writer& j, const grid_spec& spec,
+                  const exploration_result& result) {
+  const auto axis = [&](std::string_view name, const axis_range& a) {
+    j.key(name);
+    j.begin_array();
+    j.value(a.lo);
+    j.value(a.hi);
+    j.end_array();
+  };
+
+  j.begin_object();
+  j.member("design", spec.design.name());
+  j.member("ops", result.points.empty() ? std::size_t{0} : result.points.front().ops);
+  j.key("grid");
+  j.begin_object();
+  axis("alus", spec.alus);
+  axis("muls", spec.muls);
+  axis("mems", spec.mems);
+  axis("mul_latency", spec.mul_latency);
+  j.member("points", result.points.size());
+  j.end_object();
+  j.member("jobs", static_cast<unsigned long long>(result.jobs));
+  j.member("wall_ms", result.wall_ms);
+  j.member("points_per_sec", result.points_per_sec());
+  j.member("feasible", result.feasible_count());
+
+  j.key("points");
+  j.begin_array();
+  for (const point_result& p : result.points) {
+    j.begin_object();
+    j.member("index", p.point.index);
+    j.member("resources", p.point.resources.label());
+    j.member("alus", p.point.resources.alus);
+    j.member("muls", p.point.resources.multipliers);
+    j.member("mems", p.point.resources.memory_ports);
+    j.member("mul_latency", p.point.mul_latency);
+    j.member("feasible", p.feasible);
+    j.member("area", p.area);
+    j.member("latency", p.latency);
+    j.member("wall_ms", p.wall_ms);
+    if (!p.feasible) j.member("infeasible_reason", p.infeasible_reason);
+    j.key("stats");
+    write_schedule_stats(j, p.stats);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("frontier");
+  j.begin_array();
+  for (const int i : result.frontier) {
+    const point_result& p = result.points[static_cast<std::size_t>(i)];
+    j.begin_object();
+    j.member("index", p.point.index);
+    j.member("resources", p.point.resources.label());
+    j.member("mul_latency", p.point.mul_latency);
+    j.member("area", p.area);
+    j.member("latency", p.latency);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+} // namespace softsched::explore

@@ -1,0 +1,100 @@
+#include "explore/grid.h"
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "ir/benchmarks.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace softsched::explore {
+
+namespace sg = softsched::graph;
+using sg::vertex_id;
+
+std::string design_spec::name() const {
+  if (!bench.empty()) return bench;
+  return "random" + std::to_string(random_vertices);
+}
+
+std::size_t point_count(const grid_spec& spec) {
+  return static_cast<std::size_t>(spec.alus.count()) *
+         static_cast<std::size_t>(spec.muls.count()) *
+         static_cast<std::size_t>(spec.mems.count()) *
+         static_cast<std::size_t>(spec.mul_latency.count());
+}
+
+std::vector<design_point> enumerate_grid(const grid_spec& spec) {
+  SOFTSCHED_EXPECT(spec.alus.lo >= 0 && spec.muls.lo >= 0 && spec.mems.lo >= 0,
+                   "resource axes must be non-negative");
+  SOFTSCHED_EXPECT(spec.mul_latency.count() == 0 || spec.mul_latency.lo >= 1,
+                   "multiplier latency must be at least 1 cycle");
+  std::vector<design_point> points;
+  points.reserve(point_count(spec));
+  for (int lat = spec.mul_latency.lo; lat <= spec.mul_latency.hi; ++lat)
+    for (int a = spec.alus.lo; a <= spec.alus.hi; ++a)
+      for (int m = spec.muls.lo; m <= spec.muls.hi; ++m)
+        for (int p = spec.mems.lo; p <= spec.mems.hi; ++p) {
+          design_point pt;
+          pt.index = static_cast<int>(points.size());
+          pt.resources = ir::resource_set{a, m, p};
+          pt.mul_latency = lat;
+          points.push_back(pt);
+        }
+  return points;
+}
+
+void apply_point_latency(const design_point& point, ir::resource_library& library) {
+  library.set_latency(ir::op_kind::mul, point.mul_latency);
+}
+
+namespace {
+
+/// Layered random DFG: the structure comes from the shared layered_random
+/// generator (so "a 800-vertex random design" is the same shape the perf
+/// harness sweeps); operation kinds are then drawn per vertex from a fixed
+/// mix of multiplies, memory accesses, and ALU ops. Deterministic from
+/// spec.seed alone.
+ir::dfg build_random_dfg(const design_spec& spec, const ir::resource_library& library) {
+  SOFTSCHED_EXPECT(spec.random_vertices >= 1, "random design needs >= 1 vertex");
+  rng rand(spec.seed);
+  const sg::precedence_graph shape = sg::layered_random(
+      sg::layered_for_size(spec.random_vertices, spec.random_edge_prob), rand);
+
+  ir::dfg d(spec.name(), library);
+  std::vector<vertex_id> ops(shape.vertex_count());
+  std::vector<vertex_id> inputs;
+  for (const vertex_id v : shape.vertices()) {
+    // Kind mix: 30% multiplies, 8% loads, 15% subtracts, 7% compares, rest
+    // adds - multiplier- and ALU-bound enough that both axes matter.
+    const std::uint64_t roll = rand.below(100);
+    ir::op_kind kind = ir::op_kind::add;
+    if (roll < 30) kind = ir::op_kind::mul;
+    else if (roll < 38) kind = ir::op_kind::load;
+    else if (roll < 53) kind = ir::op_kind::sub;
+    else if (roll < 60) kind = ir::op_kind::compare;
+
+    inputs.clear();
+    // layered_random only adds edges toward later-created vertices, so every
+    // predecessor's op already exists.
+    for (const vertex_id p : shape.preds(v)) inputs.push_back(ops[p.value()]);
+    ops[v.value()] = d.add_op(kind, std::span<const vertex_id>(inputs),
+                              std::string("r") += std::to_string(v.value()));
+  }
+  d.validate();
+  return d;
+}
+
+} // namespace
+
+ir::dfg build_design(const design_spec& spec, const ir::resource_library& library) {
+  const bool from_bench = !spec.bench.empty();
+  const bool from_random = spec.random_vertices > 0;
+  SOFTSCHED_EXPECT(from_bench != from_random,
+                   "design_spec needs exactly one of bench / random_vertices");
+  if (from_bench) return ir::make_benchmark(spec.bench, library);
+  return build_random_dfg(spec, library);
+}
+
+} // namespace softsched::explore

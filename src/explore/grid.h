@@ -1,0 +1,78 @@
+// grid.h - the design-space-exploration grid: which design to schedule and
+// which resource allocations / latency variants to fan it out over.
+//
+// A grid is the cross product of four inclusive integer axes (ALU count x
+// multiplier count x memory-port count x multiplier latency) applied to one
+// design. The design is either a registered benchmark (ir::make_benchmark
+// syntax) or a member of the seeded layered random-DFG family; either way
+// every grid point rebuilds its own private copy, because the multiplier-
+// latency axis changes the resource library the DFG bakes its vertex delays
+// from - and because private copies are what make the parallel runner
+// share-nothing (docs/DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.h"
+
+namespace softsched::explore {
+
+/// The design one exploration fans out. Exactly one of `bench` /
+/// `random_vertices` selects the source.
+struct design_spec {
+  std::string bench;       ///< non-empty: built-in benchmark name ("ewf", "fir16", ...)
+  int random_vertices = 0; ///< > 0: layered random DFG of about this many ops
+  double random_edge_prob = 0.25;
+  std::uint64_t seed = 1;  ///< random-family seed; all grid points share it
+
+  /// Display name ("ewf", "random800", ...).
+  [[nodiscard]] std::string name() const;
+};
+
+/// Inclusive integer axis. hi < lo is an empty axis (zero grid points);
+/// lo = 0 is allowed and yields infeasible points for designs that need the
+/// resource class.
+struct axis_range {
+  int lo = 1;
+  int hi = 1;
+
+  [[nodiscard]] int count() const noexcept { return hi < lo ? 0 : hi - lo + 1; }
+};
+
+struct grid_spec {
+  design_spec design;
+  axis_range alus{1, 4};
+  axis_range muls{1, 3};
+  axis_range mems{1, 1};
+  axis_range mul_latency{2, 2}; ///< technology/pipelining variants of the multiplier
+};
+
+/// One grid point: a resource allocation plus the multiplier-latency
+/// variant. `index` is the position in enumeration order - the determinism
+/// anchor every reduction sorts by, so results cannot depend on which
+/// worker finished first.
+struct design_point {
+  int index = -1;
+  ir::resource_set resources;
+  int mul_latency = 2;
+};
+
+[[nodiscard]] std::size_t point_count(const grid_spec& spec);
+
+/// The grid in canonical enumeration order: mul_latency outermost, then
+/// alus, muls, mems innermost.
+[[nodiscard]] std::vector<design_point> enumerate_grid(const grid_spec& spec);
+
+/// Applies a point's latency variant to a fresh library.
+void apply_point_latency(const design_point& point, ir::resource_library& library);
+
+/// Materializes the spec's design against `library` (which must outlive the
+/// returned dfg). Deterministic: the same spec and library always produce
+/// the same graph, so two points differing only in resources schedule
+/// byte-identical DFGs.
+[[nodiscard]] ir::dfg build_design(const design_spec& spec,
+                                   const ir::resource_library& library);
+
+} // namespace softsched::explore

@@ -1,0 +1,48 @@
+#include "explore/pareto.h"
+
+#include <algorithm>
+
+namespace softsched::explore {
+
+long long allocation_area(const ir::resource_set& resources) {
+  return alu_area * resources.alus + multiplier_area * resources.multipliers +
+         memory_port_area * resources.memory_ports;
+}
+
+std::vector<int> pareto_frontier(const std::vector<objective>& objectives) {
+  // Sort feasible indices by (area, latency, index); then one sweep keeps a
+  // point iff its latency beats the best latency seen at strictly smaller
+  // area (ties on both objectives ride along with the keeper).
+  std::vector<int> order;
+  order.reserve(objectives.size());
+  for (std::size_t i = 0; i < objectives.size(); ++i)
+    if (objectives[i].feasible) order.push_back(static_cast<int>(i));
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const objective& oa = objectives[static_cast<std::size_t>(a)];
+    const objective& ob = objectives[static_cast<std::size_t>(b)];
+    if (oa.area != ob.area) return oa.area < ob.area;
+    if (oa.latency != ob.latency) return oa.latency < ob.latency;
+    return a < b;
+  });
+
+  std::vector<int> frontier;
+  long long best_latency = 0;
+  bool have_best = false;
+  long long group_area = 0, group_latency = 0;
+  for (const int i : order) {
+    const objective& o = objectives[static_cast<std::size_t>(i)];
+    if (have_best && o.area == group_area && o.latency == group_latency) {
+      frontier.push_back(i); // exact tie with the last keeper
+      continue;
+    }
+    if (have_best && o.latency >= best_latency) continue; // dominated
+    frontier.push_back(i);
+    best_latency = o.latency;
+    have_best = true;
+    group_area = o.area;
+    group_latency = o.latency;
+  }
+  return frontier;
+}
+
+} // namespace softsched::explore

@@ -1,0 +1,38 @@
+// pareto.h - the area/latency reduction at the end of an exploration: an
+// abstract datapath area model for resource allocations, and the Pareto
+// frontier over (area, latency) objective pairs.
+#pragma once
+
+#include <vector>
+
+#include "ir/resource.h"
+
+namespace softsched::explore {
+
+/// Abstract area cost per functional-unit instance. The absolute scale is
+/// arbitrary; the ratios follow datapath folklore (an array multiplier is
+/// several adders wide, a memory port is mostly wiring + muxes). Fixed
+/// constants so frontier outputs are stable across machines.
+inline constexpr long long alu_area = 2;
+inline constexpr long long multiplier_area = 9;
+inline constexpr long long memory_port_area = 4;
+
+[[nodiscard]] long long allocation_area(const ir::resource_set& resources);
+
+/// One point's objectives as seen by the reduction. Infeasible points never
+/// enter the frontier.
+struct objective {
+  long long area = 0;
+  long long latency = 0;
+  bool feasible = false;
+};
+
+/// Indices of the non-dominated feasible objectives, sorted by (area,
+/// latency, index). p dominates q when p is <= q in both objectives and
+/// strictly better in at least one; exact (area, latency) ties all survive.
+/// Depends only on the objective values - never on the order points were
+/// evaluated in - which is what makes the parallel engine's output
+/// reproducible for any worker count.
+[[nodiscard]] std::vector<int> pareto_frontier(const std::vector<objective>& objectives);
+
+} // namespace softsched::explore

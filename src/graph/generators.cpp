@@ -1,5 +1,6 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/check.h"
@@ -35,6 +36,16 @@ precedence_graph layered_random(const layered_params& params, rng& rand) {
     }
   }
   return g;
+}
+
+layered_params layered_for_size(int vertices, double edge_prob, int vertices_per_layer) {
+  SOFTSCHED_EXPECT(vertices >= 1, "vertex count must be positive");
+  SOFTSCHED_EXPECT(vertices_per_layer >= 1, "vertices_per_layer must be positive");
+  layered_params lp;
+  lp.layers = std::max(8, vertices / vertices_per_layer);
+  lp.width = std::max(1, vertices / lp.layers);
+  lp.edge_prob = edge_prob;
+  return lp;
 }
 
 precedence_graph gnp_dag(int n, double p, int min_delay, int max_delay, rng& rand) {

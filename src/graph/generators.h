@@ -22,6 +22,14 @@ struct layered_params {
 /// pipelined dataflow graphs and keeps path structure controllable.
 [[nodiscard]] precedence_graph layered_random(const layered_params& params, rng& rand);
 
+/// Layered-DAG shape for a target vertex count: layers = max(8, vertices /
+/// vertices_per_layer), width = vertices / layers. This is the one sizing
+/// rule every sweep-style harness (perf_harness, dse_harness, the explore
+/// random family) shares, so "a 3000-vertex random design" means the same
+/// workload everywhere.
+[[nodiscard]] layered_params layered_for_size(int vertices, double edge_prob,
+                                              int vertices_per_layer = 64);
+
 /// Uniform random DAG on n vertices: each pair (i, j), i < j in a random
 /// hidden permutation, gets an edge with probability p.
 [[nodiscard]] precedence_graph gnp_dag(int n, double p, int min_delay, int max_delay,

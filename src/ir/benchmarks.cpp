@@ -1,5 +1,7 @@
 #include "ir/benchmarks.h"
 
+#include <cstdlib>
+
 #include "util/check.h"
 
 namespace softsched::ir {
@@ -174,6 +176,21 @@ dfg make_figure1(const resource_library& library) {
   d.add_dependence(v[5], v[7]);
   d.validate();
   return d;
+}
+
+dfg make_benchmark(const std::string& name, const resource_library& library) {
+  if (name == "hal") return make_hal(library);
+  if (name == "arf") return make_arf(library);
+  if (name == "ewf") return make_ewf(library);
+  if (name == "fig1") return make_figure1(library);
+  const auto parameter = [&](std::size_t prefix_len) {
+    const int n = std::atoi(name.c_str() + prefix_len);
+    SOFTSCHED_EXPECT(n >= 1, "malformed benchmark parameter in '" + name + "'");
+    return n;
+  };
+  if (name.rfind("fir", 0) == 0) return make_fir(library, parameter(3));
+  if (name.rfind("iir", 0) == 0) return make_iir_cascade(library, parameter(3));
+  throw precondition_error("unknown benchmark '" + name + "'");
 }
 
 vertex_id find_op(const dfg& graph, const std::string& name) {

@@ -47,6 +47,13 @@ namespace softsched::ir {
 /// walk through.
 [[nodiscard]] dfg make_figure1(const resource_library& library);
 
+/// Benchmark lookup by CLI-style name: "hal", "arf", "ewf", "fig1",
+/// "fir<N>" (e.g. "fir8"), "iir<N>". One parser shared by softsched_cli and
+/// the design-space exploration engine. Throws precondition_error on an
+/// unknown name or a malformed parameter.
+[[nodiscard]] dfg make_benchmark(const std::string& name,
+                                 const resource_library& library);
+
 /// Vertex handle lookup by the diagnostic name assigned at construction.
 /// Throws precondition_error if absent.
 [[nodiscard]] vertex_id find_op(const dfg& graph, const std::string& name);

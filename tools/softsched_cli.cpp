@@ -20,6 +20,7 @@
 #include "core/hls_binding.h"
 #include "core/state_dot.h"
 #include "core/threaded_graph.h"
+#include "explore/dse.h"
 #include "graph/distances.h"
 #include "hard/extract.h"
 #include "hard/force_directed.h"
@@ -32,10 +33,12 @@
 #include "regalloc/left_edge.h"
 #include "regalloc/lifetime.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace si = softsched::ir;
 namespace sc = softsched::core;
+namespace se = softsched::explore;
 namespace sg = softsched::graph;
 namespace sh = softsched::hard;
 namespace sm = softsched::meta;
@@ -56,12 +59,18 @@ struct options {
   int alus = 2;
   int muls = 2;
   int mems = 1;
+  bool alus_set = false, muls_set = false, mems_set = false;
   std::vector<std::string> spills;
   std::vector<std::string> wires; // from:to:delay
   bool gantt = false;
   bool stats = false;
   bool registers = false;
   std::string dot_file;
+  // design-space exploration mode
+  bool explore = false;
+  int jobs = 0; // 0 = all hardware threads
+  std::string alus_range, muls_range, mems_range, mul_lat_range; // "lo:hi" or "n"
+  std::string explore_out;
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -81,6 +90,12 @@ struct options {
       << "refinement (threaded only):\n"
       << "  --spill <op>                                    spill a value\n"
       << "  --wire <from>:<to>:<delay>                      insert wire delay\n"
+      << "design-space exploration (needs --bench; 'random<N>' = random DFG):\n"
+      << "  --explore                                       sweep a resource grid\n"
+      << "  --jobs <n>                                      workers (0 = hardware)\n"
+      << "  --alus-range/--muls-range/--mems-range <lo:hi>  grid axes (1:4/1:3/1:1)\n"
+      << "  --mul-lat-range <lo:hi>                         mul latency axis (2:2)\n"
+      << "  --explore-out <file>                            JSON report\n"
       << "output:\n"
       << "  --gantt  --stats  --registers  --dot <file|->\n";
   std::exit(error.empty() ? 0 : 2);
@@ -101,11 +116,18 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--meta") opt.meta = need(i);
     else if (arg == "--seed") opt.seed = std::strtoull(need(i).c_str(), nullptr, 10);
     else if (arg == "--latency") opt.latency = std::strtoll(need(i).c_str(), nullptr, 10);
-    else if (arg == "--alus") opt.alus = std::atoi(need(i).c_str());
-    else if (arg == "--muls") opt.muls = std::atoi(need(i).c_str());
-    else if (arg == "--mems") opt.mems = std::atoi(need(i).c_str());
+    else if (arg == "--alus") { opt.alus = std::atoi(need(i).c_str()); opt.alus_set = true; }
+    else if (arg == "--muls") { opt.muls = std::atoi(need(i).c_str()); opt.muls_set = true; }
+    else if (arg == "--mems") { opt.mems = std::atoi(need(i).c_str()); opt.mems_set = true; }
     else if (arg == "--spill") opt.spills.push_back(need(i));
     else if (arg == "--wire") opt.wires.push_back(need(i));
+    else if (arg == "--explore") opt.explore = true;
+    else if (arg == "--jobs") opt.jobs = std::atoi(need(i).c_str());
+    else if (arg == "--alus-range") opt.alus_range = need(i);
+    else if (arg == "--muls-range") opt.muls_range = need(i);
+    else if (arg == "--mems-range") opt.mems_range = need(i);
+    else if (arg == "--mul-lat-range") opt.mul_lat_range = need(i);
+    else if (arg == "--explore-out") opt.explore_out = need(i);
     else if (arg == "--gantt") opt.gantt = true;
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--registers") opt.registers = true;
@@ -121,16 +143,7 @@ options parse_args(int argc, char** argv) {
 }
 
 si::dfg load_design(const options& opt, const si::resource_library& lib) {
-  if (!opt.bench.empty()) {
-    const std::string& b = opt.bench;
-    if (b == "hal") return si::make_hal(lib);
-    if (b == "arf") return si::make_arf(lib);
-    if (b == "ewf") return si::make_ewf(lib);
-    if (b == "fig1") return si::make_figure1(lib);
-    if (b.rfind("fir", 0) == 0) return si::make_fir(lib, std::atoi(b.c_str() + 3));
-    if (b.rfind("iir", 0) == 0) return si::make_iir_cascade(lib, std::atoi(b.c_str() + 3));
-    throw softsched::precondition_error("unknown benchmark '" + b + "'");
-  }
+  if (!opt.bench.empty()) return si::make_benchmark(opt.bench, lib);
   if (!opt.dfg_file.empty()) {
     std::ifstream in(opt.dfg_file);
     if (!in) throw softsched::precondition_error("cannot open " + opt.dfg_file);
@@ -152,7 +165,93 @@ sm::meta_kind parse_meta(const std::string& name) {
   throw softsched::precondition_error("unknown meta schedule '" + name + "'");
 }
 
+// Strict non-negative integer parse: the whole token must be digits and in
+// range, so a typo like "x:4" or an overflowing "99999999999" is rejected
+// rather than silently becoming a wrong bound.
+int parse_axis_bound(const std::string& token, const std::string& flag_spec) {
+  SOFTSCHED_EXPECT(!token.empty() &&
+                       token.find_first_not_of("0123456789") == std::string::npos,
+                   "malformed axis '" + flag_spec + "' (expected <n> or <lo>:<hi>)");
+  const long long value = std::strtoll(token.c_str(), nullptr, 10);
+  SOFTSCHED_EXPECT(value <= 1'000'000,
+                   "axis bound out of range in '" + flag_spec + "'");
+  return static_cast<int>(value);
+}
+
+// "lo:hi" or a single "n"; keeps `fallback` when the flag was not given.
+se::axis_range parse_axis(const std::string& spec, se::axis_range fallback) {
+  if (spec.empty()) return fallback;
+  const auto colon = spec.find(':');
+  se::axis_range axis;
+  if (colon == std::string::npos) {
+    axis.lo = axis.hi = parse_axis_bound(spec, spec);
+  } else {
+    axis.lo = parse_axis_bound(spec.substr(0, colon), spec);
+    axis.hi = parse_axis_bound(spec.substr(colon + 1), spec);
+  }
+  return axis;
+}
+
+int run_explore(const options& opt) {
+  SOFTSCHED_EXPECT(!opt.bench.empty(),
+                   "--explore needs --bench (a named benchmark or random<N>)");
+  se::grid_spec spec;
+  if (opt.bench.rfind("random", 0) == 0) {
+    spec.design.random_vertices = std::atoi(opt.bench.c_str() + 6);
+    SOFTSCHED_EXPECT(spec.design.random_vertices >= 1,
+                     "random design needs a size, e.g. --bench random600");
+    spec.design.seed = opt.seed;
+  } else {
+    spec.design.bench = opt.bench;
+  }
+  // A plain --alus/--muls/--mems pins that axis to a single value (so the
+  // normal-mode flags keep meaning something under --explore); the *-range
+  // flags override.
+  if (opt.alus_set) spec.alus = {opt.alus, opt.alus};
+  if (opt.muls_set) spec.muls = {opt.muls, opt.muls};
+  if (opt.mems_set) spec.mems = {opt.mems, opt.mems};
+  spec.alus = parse_axis(opt.alus_range, spec.alus);
+  spec.muls = parse_axis(opt.muls_range, spec.muls);
+  spec.mems = parse_axis(opt.mems_range, spec.mems);
+  spec.mul_latency = parse_axis(opt.mul_lat_range, spec.mul_latency);
+
+  se::exploration_options eopt;
+  eopt.jobs = opt.jobs;
+  eopt.meta = parse_meta(opt.meta);
+
+  const se::exploration_result result = se::run_exploration(spec, eopt);
+  std::cout << "design-space exploration: " << spec.design.name() << ", "
+            << result.points.size() << " points (alus " << spec.alus.lo << ":"
+            << spec.alus.hi << " x muls " << spec.muls.lo << ":" << spec.muls.hi
+            << " x mems " << spec.mems.lo << ":" << spec.mems.hi << " x mul_lat "
+            << spec.mul_latency.lo << ":" << spec.mul_latency.hi << "), "
+            << result.jobs << " jobs\n";
+  std::cout << "  feasible " << result.feasible_count() << "/" << result.points.size()
+            << ", " << result.wall_ms << " ms, " << result.points_per_sec()
+            << " points/sec\n";
+  std::cout << "pareto frontier (area / latency / allocation / mul latency):\n";
+  for (const int i : result.frontier) {
+    const se::point_result& p = result.points[static_cast<std::size_t>(i)];
+    std::cout << "  area " << p.area << "  latency " << p.latency << " states  "
+              << p.point.resources.label() << "  mul_lat " << p.point.mul_latency
+              << "\n";
+  }
+
+  if (!opt.explore_out.empty()) {
+    std::ofstream out(opt.explore_out);
+    if (!out) throw softsched::precondition_error("cannot open " + opt.explore_out);
+    softsched::json_writer j(out);
+    se::write_report(j, spec, result);
+    out << '\n';
+    if (!j.done() || !out)
+      throw softsched::precondition_error("failed to write " + opt.explore_out);
+    std::cout << "wrote " << opt.explore_out << "\n";
+  }
+  return 0;
+}
+
 int run(const options& opt) {
+  if (opt.explore) return run_explore(opt);
   const si::resource_library lib;
   si::dfg design = load_design(opt, lib);
   const si::resource_set resources{opt.alus, opt.muls, opt.mems};
