@@ -34,6 +34,7 @@
 #include "core/hls_binding.h"
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
+#include "serve_scenario.h"
 #include "graph/generators.h"
 #include "ir/benchmarks.h"
 #include "meta/meta_schedule.h"
@@ -431,6 +432,12 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: design-space exploration...\n";
   j.key("dse");
   ok = softsched::bench::write_dse_scenario(j, seed) && ok;
+
+  // Fixed cold/hot request mix in quick and full mode (see
+  // serve_scenario.h), so the CI gate always compares like against like.
+  std::cerr << "perf_harness: batch scheduling service...\n";
+  j.key("serve");
+  ok = softsched::bench::write_serve_scenario(j, seed) && ok;
 
   j.end_object(); // scenarios
   j.end_object(); // root

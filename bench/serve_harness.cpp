@@ -1,0 +1,62 @@
+// serve_harness - focused runner for the batch-scheduling-service
+// scenario: the same zipf-skewed cold/hot request mix perf_harness embeds
+// into BENCH_softsched.json (see bench/serve_scenario.h), as a standalone
+// document for quick throughput/hit-rate checks without re-running the
+// full perf suite.
+//
+// Usage: serve_harness [--out PATH] [--seed N] [--jobs N]
+//   --jobs 0 (default) uses every hardware thread.
+// Exits nonzero if responses diverged across worker counts / cache sizes.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "serve_scenario.h"
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  std::uint64_t seed = 20260729;
+  unsigned jobs = 0;
+  // stoull/stoul throw on non-numeric values; a bad flag value must print
+  // usage like any other bad flag, not std::terminate.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = std::stoull(argv[++i]);
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else {
+        throw std::invalid_argument(arg);
+      }
+    }
+  } catch (const std::exception&) {
+    std::cerr << "usage: serve_harness [--out PATH] [--seed N] [--jobs N]\n";
+    return 2;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+
+  softsched::json_writer j(out);
+  j.begin_object();
+  j.member("schema", "softsched-serve-v1");
+  j.member("seed", seed);
+  j.key("serve");
+  const bool ok = softsched::bench::write_serve_scenario(j, seed, jobs);
+  j.end_object();
+  out << '\n';
+  if (!j.done() || !out) {
+    std::cerr << "failed to emit well-formed JSON to " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "serve_harness: wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -27,6 +27,9 @@ def metrics(doc):
         "hls_refinement_storm.speedup": s["hls_refinement_storm"]["speedup"],
         "dse.points_per_sec_multi": s["dse"]["points_per_sec_multi"],
         "dse.points_per_sec_single": s["dse"]["points_per_sec_single"],
+        "serve.requests_per_sec_hot": s["serve"]["requests_per_sec_hot"],
+        "serve.requests_per_sec_cold": s["serve"]["requests_per_sec_cold"],
+        "serve.hit_rate": s["serve"]["hit_rate"],
     }
 
 
@@ -57,6 +60,25 @@ def validate(doc, label):
             errors.append(f"{label}: dse: 1-job vs N-job outcomes diverged")
         if dse["points_per_sec_multi"] <= 0:
             errors.append(f"{label}: dse: bad throughput")
+    serve = s.get("serve")
+    if not serve:
+        errors.append(f"{label}: missing scenario serve")
+    else:
+        if not serve["deterministic"]:
+            errors.append(
+                f"{label}: serve: responses diverged across jobs/cache sizes"
+            )
+        if serve["requests_per_sec_hot"] <= 0:
+            errors.append(f"{label}: serve: bad hot throughput")
+        if not 0 < serve["hit_rate"] <= 1:
+            errors.append(f"{label}: serve: hit_rate outside (0, 1]")
+        # The tentpole's speed story is a hard floor, not a trend: a warm
+        # cache must beat cold scheduling by at least 5x on the skewed mix.
+        if serve["speedup_hot_over_cold"] < 5:
+            errors.append(
+                f"{label}: serve: hot cache only "
+                f"{serve['speedup_hot_over_cold']:.2f}x faster than cold (< 5x)"
+            )
     return errors
 
 
@@ -85,7 +107,12 @@ def main():
         return 1
 
     # Only the headline metrics gate; the rest are reported for trend-reading.
-    gated = {"refinement_storm.speedup", "dse.points_per_sec_multi"}
+    gated = {
+        "refinement_storm.speedup",
+        "dse.points_per_sec_multi",
+        "serve.requests_per_sec_hot",
+        "serve.hit_rate",
+    }
 
     print("### Benchmark gate (fail only on >%.0fx regression)\n" % TOLERANCE)
     print("| Metric | Baseline | Fresh | Ratio | Gate |")
@@ -107,6 +134,13 @@ def main():
         f"\ndse: {dse['total_points']} points on {dse['threads']} threads, "
         f"multi-thread speedup {dse['speedup']:.2f}x, "
         f"deterministic={dse['deterministic']}"
+    )
+    serve = fresh["scenarios"]["serve"]
+    print(
+        f"\nserve: {serve['requests']} requests over {serve['catalog']} designs "
+        f"on {serve['jobs']} jobs, hot/cold speedup "
+        f"{serve['speedup_hot_over_cold']:.1f}x, hit rate {serve['hit_rate']:.3f}, "
+        f"deterministic={serve['deterministic']}"
     )
 
     if errors:

@@ -1,0 +1,143 @@
+"""pytest suite for ci/bench_gate.py: malformed input, missing metrics,
+schema validation, and the 2x regression boundary. Run by the ci-tools
+CI job (`python3 -m pytest ci/ -q`)."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+GATE = Path(__file__).resolve().parent / "bench_gate.py"
+
+
+def minimal_doc():
+    """The smallest document bench_gate.py considers healthy."""
+    storm = {
+        "speedup": 5.0,
+        "modes_agree": True,
+        "incremental_stats": {"closure_rebuilds": 1},
+    }
+    return {
+        "schema": "softsched-bench-v1",
+        "scenarios": {
+            "paper_benchmarks": [{"name": "HAL"}],
+            "random_dag_sweep": [{"vertices": 100}],
+            "refinement_storm": copy.deepcopy(storm),
+            "hls_refinement_storm": copy.deepcopy(storm),
+            "dse": {
+                "deterministic": True,
+                "points_per_sec_multi": 1000.0,
+                "points_per_sec_single": 500.0,
+                "total_points": 48,
+                "threads": 4,
+                "speedup": 2.0,
+            },
+            "serve": {
+                "deterministic": True,
+                "requests": 400,
+                "catalog": 30,
+                "jobs": 4,
+                "requests_per_sec_hot": 200000.0,
+                "requests_per_sec_cold": 4000.0,
+                "speedup_hot_over_cold": 50.0,
+                "hit_rate": 0.925,
+            },
+        },
+    }
+
+
+def run_gate(tmp_path, baseline, fresh):
+    """Writes the two documents (raw strings pass through) and runs the gate."""
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    for path, doc in ((base_path, baseline), (fresh_path, fresh)):
+        text = doc if isinstance(doc, str) else json.dumps(doc)
+        path.write_text(text)
+    return subprocess.run(
+        [sys.executable, str(GATE), str(base_path), str(fresh_path)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_identical_documents_pass(tmp_path):
+    result = run_gate(tmp_path, minimal_doc(), minimal_doc())
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "Gate passed" in result.stdout
+    assert "serve.requests_per_sec_hot" in result.stdout
+
+
+def test_malformed_json_fails_readably(tmp_path):
+    result = run_gate(tmp_path, minimal_doc(), '{"schema": "softsched-bench-v1", ')
+    assert result.returncode == 1
+    assert "malformed benchmark document" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_missing_metric_fails_readably(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["serve"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "serve" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_wrong_schema_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["schema"] = "something-else"
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "unexpected schema" in result.stdout
+
+
+def test_regression_boundary_exactly_2x_passes(tmp_path):
+    # The gate fails strictly below baseline/2, so exactly half survives.
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["requests_per_sec_hot"] = 100000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_regression_beyond_2x_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["requests_per_sec_hot"] = 99000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "regressed more than" in result.stdout
+    assert "serve.requests_per_sec_hot" in result.stdout
+
+
+def test_hit_rate_collapse_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["hit_rate"] = 0.4  # < 0.925 / 2
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "serve.hit_rate" in result.stdout
+
+
+def test_ungated_metric_may_regress(tmp_path):
+    # requests_per_sec_cold is informational: a 10x drop is reported, not fatal.
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["requests_per_sec_cold"] = 400.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_hot_cold_speedup_floor_enforced(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["speedup_hot_over_cold"] = 4.0
+    # Keep the ratio metrics consistent with the floor violation.
+    fresh["scenarios"]["serve"]["requests_per_sec_hot"] = 16000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "< 5x" in result.stdout
+
+
+def test_nondeterministic_serve_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["serve"]["deterministic"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "diverged" in result.stdout

@@ -59,6 +59,11 @@ struct schedule_stats {
   std::uint64_t closure_rebuilds = 0;   ///< from-scratch transitive-closure builds
   std::uint64_t closure_syncs = 0;      ///< incremental closure catch-ups
   std::uint64_t closure_rows_touched = 0; ///< bitset rows updated by incremental syncs
+
+  /// Field-complete by construction: determinism witnesses (DSE, serve)
+  /// compare stats blocks, and a hand-rolled comparison would silently
+  /// ignore the next counter added here.
+  friend bool operator==(const schedule_stats&, const schedule_stats&) = default;
 };
 
 /// The K-threaded scheduling state over a precedence graph G, plus the

@@ -22,18 +22,6 @@ bool same_allocation(const ir::resource_set& a, const ir::resource_set& b) {
          a.memory_ports == b.memory_ports;
 }
 
-bool same_stats(const core::schedule_stats& a, const core::schedule_stats& b) {
-  return a.select_calls == b.select_calls &&
-         a.positions_scanned == b.positions_scanned &&
-         a.positions_rejected == b.positions_rejected && a.commits == b.commits &&
-         a.label_passes == b.label_passes &&
-         a.cross_edge_updates == b.cross_edge_updates &&
-         a.nodes_relabeled == b.nodes_relabeled &&
-         a.closure_rebuilds == b.closure_rebuilds &&
-         a.closure_syncs == b.closure_syncs &&
-         a.closure_rows_touched == b.closure_rows_touched;
-}
-
 } // namespace
 
 bool point_result::same_schedule(const point_result& other) const {
@@ -43,7 +31,7 @@ bool point_result::same_schedule(const point_result& other) const {
          infeasible_reason == other.infeasible_reason && ops == other.ops &&
          latency == other.latency && area == other.area &&
          start_times == other.start_times && unit_of == other.unit_of &&
-         same_stats(stats, other.stats);
+         stats == other.stats;
 }
 
 std::size_t exploration_result::feasible_count() const {

@@ -1,0 +1,238 @@
+#include "ir/dfg_hash.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/topo.h"
+#include "util/check.h"
+
+namespace softsched::ir {
+
+namespace {
+
+using graph::vertex_id;
+
+/// SplitMix64 finalizer - the avalanche step all mixing goes through.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Two independently-seeded 64-bit lanes absorbed in lockstep; together
+/// they form the 128-bit digest.
+struct hasher128 {
+  std::uint64_t a = 0x736f6674736368ULL; // "softsch"
+  std::uint64_t b = 0x64666768617368ULL; // "dfghash"
+
+  void absorb(std::uint64_t x) noexcept {
+    a = mix64(a ^ x);
+    b = mix64(b + (x * 0xd1342543de82ef95ULL | 1));
+  }
+};
+
+std::size_t distinct_count(std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  return static_cast<std::size_t>(
+      std::unique(values.begin(), values.end()) - values.begin());
+}
+
+/// Per-vertex structural signatures. Seed: a forward hash over the full
+/// predecessor cone and a backward hash over the full successor cone
+/// (whole-depth information in two topological passes). Sharpened by
+/// bounded bidirectional Weisfeiler-Leman rounds - each round mixes every
+/// vertex's signature with the sorted signatures of its direct
+/// predecessors and successors - until the signature partition stops
+/// refining. The seed alone cannot separate signature-equal vertices whose
+/// *neighbours* are separated (the cone hash of a neighbour does not see
+/// that neighbour's other edges); the WL rounds propagate exactly that
+/// information. Neighbour hashes always enter as a sorted sequence so the
+/// result is independent of adjacency-list order.
+std::vector<std::uint64_t> structural_signatures(const dfg& d,
+                                                 const std::vector<vertex_id>& topo) {
+  const graph::precedence_graph& g = d.graph();
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint64_t> forward(n), backward(n), sig(n);
+  std::vector<std::uint64_t> neighbour;
+
+  const auto local = [&](vertex_id v) {
+    return mix64((static_cast<std::uint64_t>(d.kind(v)) << 32) ^
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.delay(v))));
+  };
+
+  for (const vertex_id v : topo) {
+    neighbour.clear();
+    for (const vertex_id p : g.preds(v)) neighbour.push_back(forward[p.value()]);
+    std::sort(neighbour.begin(), neighbour.end());
+    std::uint64_t h = local(v);
+    for (const std::uint64_t ph : neighbour) h = mix64(h ^ ph);
+    forward[v.value()] = h;
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const vertex_id v = *it;
+    neighbour.clear();
+    for (const vertex_id s : g.succs(v)) neighbour.push_back(backward[s.value()]);
+    std::sort(neighbour.begin(), neighbour.end());
+    std::uint64_t h = local(v);
+    for (const std::uint64_t sh : neighbour) h = mix64(h ^ sh);
+    backward[v.value()] = h;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    sig[i] = mix64(forward[i] ^ (backward[i] * 0x2545f4914f6cdd1dULL));
+
+  // WL rounds. The cap bounds the cost on deep uniform structures (a long
+  // chain refines one layer per round but its Kahn order is forced by the
+  // topology anyway); realistic asymmetries resolve within a few hops.
+  constexpr int max_rounds = 16;
+  std::vector<std::uint64_t> next(n);
+  std::size_t classes = distinct_count(sig);
+  for (int round = 0; round < max_rounds && classes < n; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const vertex_id v(static_cast<std::uint32_t>(i));
+      std::uint64_t h = mix64(sig[i]);
+      neighbour.clear();
+      for (const vertex_id p : g.preds(v)) neighbour.push_back(sig[p.value()]);
+      std::sort(neighbour.begin(), neighbour.end());
+      h = mix64(h ^ 0x70726564ULL); // "pred" separator: direction matters
+      for (const std::uint64_t ph : neighbour) h = mix64(h ^ ph);
+      neighbour.clear();
+      for (const vertex_id s : g.succs(v)) neighbour.push_back(sig[s.value()]);
+      std::sort(neighbour.begin(), neighbour.end());
+      h = mix64(h ^ 0x73756363ULL); // "succ" separator
+      for (const std::uint64_t sh : neighbour) h = mix64(h ^ sh);
+      next[i] = h;
+    }
+    sig.swap(next);
+    const std::size_t refined = distinct_count(sig);
+    if (refined <= classes) break; // partition stable
+    classes = refined;
+  }
+  return sig;
+}
+
+} // namespace
+
+std::string dfg_digest::hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::vector<graph::vertex_id> canonical_topo_order(const dfg& d) {
+  const graph::precedence_graph& g = d.graph();
+  // Any topological order works as the hash processing order (throws
+  // graph_error on cycles for us).
+  const std::vector<vertex_id> topo = graph::topological_order(g);
+  const std::vector<std::uint64_t> sig = structural_signatures(d, topo);
+
+  // Kahn's algorithm with the ready set ordered by structural signature.
+  // The vertex id only breaks signature ties, where candidates are
+  // symmetric (up to collision), so the emitted *record sequence* - and
+  // hence the digest - does not depend on the numbering.
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> missing(n);
+  std::set<std::pair<std::uint64_t, std::uint32_t>> ready;
+  std::vector<vertex_id> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vertex_id v(static_cast<std::uint32_t>(i));
+    missing[i] = g.preds(v).size();
+    if (missing[i] == 0) ready.emplace(sig[i], v.value());
+  }
+  while (!ready.empty()) {
+    const auto [vsig, value] = *ready.begin();
+    ready.erase(ready.begin());
+    const vertex_id v(value);
+    order.push_back(v);
+    for (const vertex_id s : g.succs(v))
+      if (--missing[s.value()] == 0) ready.emplace(sig[s.value()], s.value());
+  }
+  return order;
+}
+
+dfg_digest canonical_dfg_digest(const dfg& d) {
+  return canonical_dfg_digest(d, canonical_topo_order(d));
+}
+
+dfg_digest canonical_dfg_digest(const dfg& d, const std::vector<vertex_id>& order) {
+  const graph::precedence_graph& g = d.graph();
+  SOFTSCHED_EXPECT(order.size() == g.vertex_count(),
+                   "canonical order does not cover the graph");
+
+  std::vector<std::uint32_t> canonical_index(g.vertex_count());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    canonical_index[order[i].value()] = static_cast<std::uint32_t>(i);
+
+  hasher128 h;
+  h.absorb(g.vertex_count());
+  h.absorb(g.edge_count());
+  std::vector<std::uint32_t> preds;
+  for (const vertex_id v : order) {
+    preds.clear();
+    for (const vertex_id p : g.preds(v)) preds.push_back(canonical_index[p.value()]);
+    std::sort(preds.begin(), preds.end());
+    h.absorb((static_cast<std::uint64_t>(d.kind(v)) << 32) ^
+             static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.delay(v))));
+    h.absorb(preds.size());
+    for (const std::uint32_t p : preds) h.absorb(p);
+  }
+  return dfg_digest{h.a, h.b};
+}
+
+dfg canonical_form(const dfg& d, const std::vector<vertex_id>& canonical_order,
+                   const resource_library& library) {
+  const graph::precedence_graph& g = d.graph();
+  SOFTSCHED_EXPECT(canonical_order.size() == g.vertex_count(),
+                   "canonical order does not cover the graph");
+  std::vector<std::uint32_t> canonical_index(g.vertex_count());
+  for (std::size_t i = 0; i < canonical_order.size(); ++i)
+    canonical_index[canonical_order[i].value()] = static_cast<std::uint32_t>(i);
+
+  dfg canon(d.name(), library);
+  std::vector<vertex_id> preds;
+  for (std::size_t ci = 0; ci < canonical_order.size(); ++ci) {
+    const vertex_id source = canonical_order[ci];
+    preds.clear();
+    for (const vertex_id p : g.preds(source))
+      preds.push_back(vertex_id(canonical_index[p.value()]));
+    // Sorted predecessor lists make the canonical form a pure function of
+    // the digest's record sequence, not of the source's adjacency order.
+    std::sort(preds.begin(), preds.end());
+    vertex_id added;
+    if (d.kind(source) == op_kind::wire) {
+      added = canon.add_wire(g.delay(source), {});
+      for (const vertex_id p : preds) canon.add_dependence(p, added);
+    } else {
+      added = canon.add_op(d.kind(source), std::span<const vertex_id>(preds));
+    }
+    // Delays are copied verbatim rather than re-derived from the library,
+    // so canonical_form(d).digest == d.digest holds unconditionally.
+    canon.graph().set_delay(added, g.delay(source));
+  }
+  return canon;
+}
+
+dfg_digest schedule_key(const dfg_digest& digest, const resource_set& resources,
+                        std::uint64_t option_salt) {
+  hasher128 h;
+  h.a = digest.hi;
+  h.b = digest.lo;
+  h.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(resources.alus)) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(resources.multipliers))
+            << 32));
+  h.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(resources.memory_ports)));
+  h.absorb(option_salt);
+  return dfg_digest{h.a, h.b};
+}
+
+dfg_digest schedule_key(const dfg& d, const resource_set& resources,
+                        std::uint64_t option_salt) {
+  return schedule_key(canonical_dfg_digest(d), resources, option_salt);
+}
+
+} // namespace softsched::ir

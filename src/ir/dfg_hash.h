@@ -1,0 +1,97 @@
+// dfg_hash.h - content-addressed identity for scheduling inputs: a
+// canonical 128-bit digest of a dataflow graph that is invariant under
+// vertex renumbering, plus the cache key that extends it with the resource
+// allocation and scheduler options.
+//
+// Equal digests identify isomorphic kind/delay-labelled DAGs modulo a
+// ~2^-64 hash collision: the digest is computed over a *canonical
+// topological order* derived purely from structure (iterated bidirectional
+// Weisfeiler-Leman refinement seeded with full predecessor/successor-cone
+// hashes), never from vertex ids or diagnostic names. This is what lets
+// the batch scheduling service (src/serve) recognize "the same design
+// submitted again" regardless of how the client happened to number or name
+// its operations - an inline .dfg upload, a built-in benchmark, and a
+// seeded random design all unify when their graphs match.
+//
+// Failure directions are asymmetric by construction. Distinct graphs
+// colliding into one digest is the 2^-64 accident every content-addressed
+// store accepts. The reverse - isomorphic graphs digesting differently -
+// can additionally happen for vertices the refinement cannot separate
+// (WL-equivalent asymmetries, which do not arise from practical dataflow
+// shapes); that direction degrades to a spurious cache miss, never to a
+// wrong schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.h"
+
+namespace softsched::ir {
+
+/// 128-bit content digest. Comparable, hashable, hex-printable.
+struct dfg_digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const dfg_digest&, const dfg_digest&) = default;
+  friend constexpr auto operator<=>(const dfg_digest&, const dfg_digest&) = default;
+
+  /// 32 lowercase hex characters (hi then lo).
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Hash functor for unordered containers keyed by dfg_digest.
+struct dfg_digest_hash {
+  [[nodiscard]] std::size_t operator()(const dfg_digest& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The canonical topological order behind the digest: Kahn's algorithm
+/// with the ready set sorted by a structural signature - each vertex's
+/// kind, delay and full predecessor/successor-cone hashes, sharpened by
+/// iterated bidirectional Weisfeiler-Leman rounds until the signature
+/// partition stabilizes. Ties are broken by vertex id, safe because
+/// signature-equal ready vertices are automorphic images of each other for
+/// any graph the refinement separates (see the header comment for the
+/// remaining theoretical caveat). Renumbering the graph permutes the
+/// returned ids but not the sequence of (kind, delay,
+/// canonical-predecessor-set) records the digest consumes. Throws
+/// graph_error on a cyclic graph.
+[[nodiscard]] std::vector<graph::vertex_id> canonical_topo_order(const dfg& d);
+
+/// Structural digest of the DFG: kinds, delays (as baked from the resource
+/// library, so latency variants change the digest) and the edge relation in
+/// canonical order. Diagnostic vertex names do not participate.
+[[nodiscard]] dfg_digest canonical_dfg_digest(const dfg& d);
+
+/// Same digest from a precomputed canonical order (one canonicalization
+/// shared between digesting and canonical_form on the serve hot path).
+[[nodiscard]] dfg_digest
+canonical_dfg_digest(const dfg& d, const std::vector<graph::vertex_id>& canonical_order);
+
+/// Rebuilds `d` with vertices renumbered into canonical order: vertex i of
+/// the result is canonical_order[i] of the source (names dropped, delays
+/// copied exactly). Isomorphic inputs rebuild identical labelled graphs,
+/// which is what lets the serve engine *schedule in canonical space*: the
+/// cached outcome is a pure function of the isomorphism class, and every
+/// renumbered submission receives it permuted into its own numbering.
+[[nodiscard]] dfg canonical_form(const dfg& d,
+                                 const std::vector<graph::vertex_id>& canonical_order,
+                                 const resource_library& library);
+
+/// Extends a structural digest into a schedule-cache key: mixes in the
+/// resource allocation and an opaque option salt (the serve engine passes
+/// the meta-schedule kind). Everything the threaded scheduler's outcome
+/// depends on - graph, delays, unit counts, feed order - lands in the key.
+[[nodiscard]] dfg_digest schedule_key(const dfg_digest& digest,
+                                      const resource_set& resources,
+                                      std::uint64_t option_salt);
+
+/// Convenience overload: digest + key in one call.
+[[nodiscard]] dfg_digest schedule_key(const dfg& d, const resource_set& resources,
+                                      std::uint64_t option_salt);
+
+} // namespace softsched::ir

@@ -1,0 +1,373 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "core/hls_binding.h"
+#include "explore/dse.h"
+#include "meta/meta_schedule.h"
+#include "util/check.h"
+
+namespace softsched::serve {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double millis_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+}
+
+/// The option salt schedule_key mixes in: today only the meta kind. +1 so
+/// the first enumerator is distinguishable from "no salt".
+std::uint64_t meta_salt(meta::meta_kind kind) {
+  return static_cast<std::uint64_t>(kind) + 1;
+}
+
+/// Runs Algorithm 1 for one request, share-nothing (private library, DFG
+/// and state - the same isolation argument as explore::run_point, so
+/// outcomes are identical for any worker count). Infeasible allocations
+/// are a cacheable outcome, not an error.
+///
+/// Scheduling happens *in canonical space*: the request's DFG is rebuilt
+/// with vertices renumbered into the canonical order behind its digest
+/// (`canonical_of`: source vertex id -> canonical index), and the result
+/// arrays are canonical-indexed. Isomorphic submissions rebuild identical
+/// labelled graphs, so the cached outcome is a pure function of the cache
+/// key even though the scheduler itself (meta orders, tie-breaks) is
+/// sensitive to vertex numbering - without this step, serving request B a
+/// result computed from an isomorphic-but-renumbered request A would both
+/// misalign the arrays and break cache-size independence.
+schedule_result compute_schedule(const request& req,
+                                 const std::vector<std::uint32_t>& canonical_of) {
+  schedule_result r;
+  ir::resource_library library;
+  library.set_latency(ir::op_kind::mul, req.mul_latency);
+  const ir::dfg source = build_request_design(req, library);
+  std::vector<graph::vertex_id> order(source.op_count());
+  for (std::size_t src = 0; src < canonical_of.size(); ++src)
+    order[canonical_of[src]] = graph::vertex_id(static_cast<std::uint32_t>(src));
+  const ir::dfg design = ir::canonical_form(source, order, library);
+  r.ops = design.op_count();
+  try {
+    core::threaded_graph state = core::make_hls_state(design, req.resources);
+    // Inline .dfg designs may carry wire pseudo-ops; each needs its
+    // dedicated thread before scheduling (hls_binding contract).
+    for (const graph::vertex_id v : design.graph().vertices())
+      if (design.kind(v) == ir::op_kind::wire) core::add_wire_thread(state, v);
+    state.schedule_all(meta::meta_schedule(design.graph(), req.meta));
+    r.latency = state.diameter();
+    r.start_times = state.asap_start_times();
+    r.unit_of.reserve(design.op_count());
+    for (const graph::vertex_id v : design.graph().vertices())
+      r.unit_of.push_back(state.thread_of(v));
+    r.stats = state.stats();
+    r.feasible = true;
+  } catch (const infeasible_error& e) {
+    r.infeasible_reason = e.what();
+  }
+  return r;
+}
+
+/// Canonical-indexed result -> the requester's own vertex numbering.
+schedule_result to_source_order(const schedule_result& canonical,
+                                const std::vector<std::uint32_t>& canonical_of) {
+  schedule_result r = canonical; // scalars + stats; arrays rewritten below
+  for (std::size_t src = 0; src < canonical_of.size(); ++src) {
+    if (src < r.start_times.size())
+      r.start_times[src] = canonical.start_times[canonical_of[src]];
+    if (src < r.unit_of.size()) r.unit_of[src] = canonical.unit_of[canonical_of[src]];
+  }
+  return r;
+}
+
+} // namespace
+
+bool response::same_payload(const response& other) const {
+  return line == other.line && id == other.id && error == other.error &&
+         key == other.key && result.same_schedule(other.result);
+}
+
+engine_counters engine_counters::operator-(const engine_counters& rhs) const noexcept {
+  engine_counters d;
+  d.requests = requests - rhs.requests;
+  d.parse_errors = parse_errors - rhs.parse_errors;
+  d.computed = computed - rhs.computed;
+  d.deduped = deduped - rhs.deduped;
+  d.cache_hits = cache_hits - rhs.cache_hits;
+  return d;
+}
+
+double engine_counters::hit_rate() const noexcept {
+  const std::uint64_t served = requests - parse_errors;
+  return served > 0
+             ? static_cast<double>(deduped + cache_hits) / static_cast<double>(served)
+             : 0.0;
+}
+
+double stream_summary::requests_per_sec() const noexcept {
+  return wall_ms > 0
+             ? static_cast<double>(counters.requests) / (wall_ms / 1e3)
+             : 0.0;
+}
+
+engine::engine(const engine_options& options)
+    : options_(options),
+      jobs_(options.jobs < 1 ? thread_pool::hardware_workers()
+                             : static_cast<unsigned>(options.jobs)),
+      cache_(options.cache_bytes, options.cache_shards) {
+  if (jobs_ > 1) pool_ = std::make_unique<thread_pool>(jobs_);
+}
+
+engine::~engine() = default;
+
+std::size_t engine::source_memo_byte_budget() const noexcept {
+  // Same order as the operator's cache budget, floored so a tiny (or zero)
+  // --cache-mb does not degenerate into wiping the memo every batch.
+  return std::max<std::size_t>(options_.cache_bytes, 8ull << 20);
+}
+
+std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
+  const std::size_t n = lines.size();
+  std::vector<response> out(n);
+  std::vector<request> reqs(n);
+  std::vector<std::uint8_t> ok(n, 0);
+
+  // -- parse (serial; errors must land on their input line) ---------------
+  counters_.requests += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].line = lines[i].line;
+    try {
+      reqs[i] = parse_request_line(lines[i].text);
+      ok[i] = 1;
+    } catch (const json_error& e) {
+      out[i].error = e.what();
+      ++counters_.parse_errors;
+    }
+    out[i].id = (ok[i] && !reqs[i].id.empty())
+                    ? reqs[i].id
+                    : "line" + std::to_string(lines[i].line);
+  }
+
+  // -- sign + memo lookup: which distinct design sources still need a
+  //    canonical hash? ----------------------------------------------------
+  struct hash_job {
+    std::string sig;
+    std::size_t rep = 0; ///< representative request index
+    memo_entry result;
+  };
+  std::vector<std::string> sigs(n);
+  std::vector<hash_job> to_hash;
+  // Bound the memo *before* this batch consults it: entries published below
+  // must survive until the key-derivation loop reads them back.
+  if (source_memo_.size() > source_memo_limit ||
+      source_memo_bytes_ > source_memo_byte_budget()) {
+    source_memo_.clear();
+    source_memo_bytes_ = 0;
+  }
+  {
+    std::unordered_map<std::string_view, std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ok[i]) continue;
+      sigs[i] = reqs[i].source_signature();
+      if (source_memo_.find(sigs[i]) != source_memo_.end()) continue;
+      if (pending.find(sigs[i]) != pending.end()) continue;
+      pending.emplace(sigs[i], to_hash.size());
+      to_hash.push_back(hash_job{sigs[i], i, {}});
+    }
+  }
+
+  // -- hash new sources (parallel; pure per-job work into its own slot) ---
+  parallel_for_index(pool_.get(), to_hash.size(), [&](std::size_t k) {
+    const request& rq = reqs[to_hash[k].rep];
+    try {
+      ir::resource_library library;
+      library.set_latency(ir::op_kind::mul, rq.mul_latency);
+      const ir::dfg design = build_request_design(rq, library);
+      const std::vector<graph::vertex_id> order = ir::canonical_topo_order(design);
+      to_hash[k].result.digest = ir::canonical_dfg_digest(design, order);
+      to_hash[k].result.canonical_of.resize(order.size());
+      for (std::size_t ci = 0; ci < order.size(); ++ci)
+        to_hash[k].result.canonical_of[order[ci].value()] =
+            static_cast<std::uint32_t>(ci);
+    } catch (const std::exception& e) {
+      to_hash[k].result.error = e.what();
+    }
+  });
+
+  // -- publish memo + derive cache keys (serial) --------------------------
+  for (hash_job& job : to_hash) {
+    source_memo_bytes_ += job.sig.size() + job.result.error.size() +
+                          job.result.canonical_of.size() * sizeof(std::uint32_t) +
+                          sizeof(memo_entry) + 64;
+    source_memo_.emplace(std::move(job.sig), std::move(job.result));
+  }
+  std::vector<const memo_entry*> memos(n, nullptr); // node-based map: stable
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ok[i]) continue;
+    const memo_entry& memo = source_memo_.at(sigs[i]);
+    if (!memo.error.empty()) {
+      out[i].error = memo.error;
+      ok[i] = 0;
+      ++counters_.parse_errors;
+      continue;
+    }
+    memos[i] = &memo;
+    out[i].key = ir::schedule_key(memo.digest, reqs[i].resources, meta_salt(reqs[i].meta));
+  }
+
+  // -- dedup identical in-flight requests, consult the cache (serial, so
+  //    LRU traffic and hit/miss accounting are reproducible) --------------
+  struct unique_work {
+    ir::dfg_digest key;
+    std::size_t rep = 0;
+    bool from_cache = false;
+    std::string error;
+    schedule_cache::result_ptr result; ///< canonical-indexed
+    double ms = 0;
+  };
+  std::vector<unique_work> uniques;
+  std::vector<std::size_t> unique_of(n, 0);
+  {
+    std::unordered_map<ir::dfg_digest, std::size_t, ir::dfg_digest_hash> index;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ok[i]) continue;
+      const auto [it, inserted] = index.try_emplace(out[i].key, uniques.size());
+      if (inserted) uniques.push_back(unique_work{out[i].key, i, false, {}, nullptr, 0});
+      unique_of[i] = it->second;
+    }
+  }
+  std::vector<std::size_t> to_compute;
+  for (std::size_t u = 0; u < uniques.size(); ++u) {
+    if (auto hit = cache_.lookup(uniques[u].key)) {
+      uniques[u].result = std::move(hit);
+      uniques[u].from_cache = true;
+    } else {
+      to_compute.push_back(u);
+    }
+  }
+
+  // -- schedule the misses (parallel, share-nothing) ----------------------
+  parallel_for_index(pool_.get(), to_compute.size(), [&](std::size_t k) {
+    unique_work& u = uniques[to_compute[k]];
+    const auto t0 = clock_type::now();
+    try {
+      u.result = std::make_shared<const schedule_result>(
+          compute_schedule(reqs[u.rep], memos[u.rep]->canonical_of));
+    } catch (const std::exception& e) {
+      u.error = e.what(); // should be unreachable: the source already built once
+    }
+    u.ms = millis_since(t0);
+  });
+
+  // -- publish to the cache (serial, input order: eviction sequences are a
+  //    pure function of the request stream) -------------------------------
+  for (const std::size_t u : to_compute)
+    if (uniques[u].error.empty()) cache_.insert(uniques[u].key, uniques[u].result);
+
+  // -- respond in input order ---------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ok[i]) continue;
+    const unique_work& u = uniques[unique_of[i]];
+    if (!u.error.empty()) {
+      out[i].error = u.error;
+      ++counters_.parse_errors;
+      continue;
+    }
+    out[i].result = to_source_order(*u.result, memos[i]->canonical_of);
+    if (u.from_cache) {
+      ++counters_.cache_hits;
+    } else if (i == u.rep) {
+      ++counters_.computed;
+      out[i].ms = u.ms;
+    } else {
+      ++counters_.deduped;
+    }
+  }
+  return out;
+}
+
+std::size_t engine::drain_stream(std::istream& in,
+                                 const std::function<void(std::vector<response>)>& sink) {
+  std::size_t batches = 0;
+  std::vector<batch_line> batch;
+  std::string text;
+  std::size_t line_no = 0;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    sink(run_batch(batch));
+    batch.clear();
+    ++batches;
+  };
+  while (std::getline(in, text)) {
+    ++line_no;
+    if (text.empty()) continue;
+    batch.push_back(batch_line{line_no, std::move(text)});
+    if (options_.batch_size > 0 && batch.size() >= options_.batch_size) flush();
+  }
+  flush();
+  return batches;
+}
+
+std::vector<response> engine::run_collect(std::istream& in) {
+  std::vector<response> all;
+  drain_stream(in, [&](std::vector<response> part) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  });
+  return all;
+}
+
+stream_summary engine::run_stream(std::istream& in, std::ostream& out) {
+  const engine_counters before = counters_;
+  stream_summary summary;
+  const auto t0 = clock_type::now();
+  summary.batches = drain_stream(in, [&](std::vector<response> part) {
+    for (const response& r : part) {
+      write_response(out, r);
+      out << '\n';
+    }
+  });
+  summary.wall_ms = millis_since(t0);
+  summary.counters = counters_ - before;
+  return summary;
+}
+
+void engine::write_response(std::ostream& out, const response& r) const {
+  json_writer j(out, /*compact=*/true);
+  j.begin_object();
+  j.member("line", r.line);
+  j.member("id", r.id);
+  if (!r.error.empty()) {
+    j.member("error", r.error);
+  } else {
+    j.member("key", r.key.hex());
+    j.member("ops", r.result.ops);
+    j.member("feasible", r.result.feasible);
+    if (r.result.feasible) {
+      j.member("latency", r.result.latency);
+      if (options_.emit_schedule) {
+        j.key("start");
+        j.begin_array();
+        for (const long long s : r.result.start_times) j.value(s);
+        j.end_array();
+        j.key("unit");
+        j.begin_array();
+        for (const int u : r.result.unit_of) j.value(u);
+        j.end_array();
+      }
+      j.key("stats");
+      explore::write_schedule_stats(j, r.result.stats);
+    } else {
+      j.member("infeasible_reason", r.result.infeasible_reason);
+    }
+  }
+  j.member("ms", r.ms);
+  j.end_object();
+  SOFTSCHED_EXPECT(j.done(), "serve: response serialization left JSON open");
+}
+
+} // namespace softsched::serve

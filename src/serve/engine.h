@@ -1,0 +1,156 @@
+// engine.h - the batch scheduling request engine: JSONL requests in, JSONL
+// responses out, backed by the canonical-hash schedule cache and the
+// work-stealing thread pool.
+//
+// Pipeline per batch (docs/DESIGN.md §6):
+//
+//   parse -> sign -> hash (parallel, memoized) -> key -> dedup in-flight
+//         -> consult cache (serial) -> schedule misses (parallel)
+//         -> publish to cache (serial) -> respond in input order
+//
+// Determinism contract: every response payload is a pure function of its
+// request - identical for any worker count and any cache size. Three
+// design rules enforce it: (1) scheduling jobs are share-nothing and write
+// pre-allocated slots (the DSE pattern); (2) all cache traffic and
+// memo/dedup bookkeeping happen serially, in input order, between the
+// parallel phases; (3) responses never carry hit/miss state - caching is
+// observable only through the engine/cache counters, so a cold run, a hot
+// run and an evicting tiny-cache run emit byte-identical payloads (only
+// the `ms` latency field varies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/request.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace softsched::serve {
+
+struct engine_options {
+  int jobs = 0;                            ///< worker threads; < 1 = hardware_workers()
+  std::size_t cache_bytes = 64ull << 20;   ///< schedule-cache byte budget
+  unsigned cache_shards = 16;
+  std::size_t batch_size = 64;             ///< requests per dispatch wave; 0 = whole stream
+  bool emit_schedule = true;               ///< include start/unit arrays in JSONL output
+};
+
+/// One response. `same_payload` ignores only the latency field - the
+/// equality the determinism tests and the --jobs/cache-size acceptance
+/// criterion check.
+struct response {
+  std::size_t line = 0;   ///< 1-based input line number
+  std::string id;         ///< request id (default "line<N>")
+  std::string error;      ///< parse/build error; empty = result is valid
+  ir::dfg_digest key;     ///< schedule-cache key (zero when errored before hashing)
+  schedule_result result;
+  double ms = 0;          ///< scheduling latency this request paid (0 when served
+                          ///< from cache / dedup); excluded from same_payload
+
+  [[nodiscard]] bool same_payload(const response& other) const;
+};
+
+/// Cumulative request dispositions (every request lands in exactly one of
+/// computed / deduped / cache_hits / parse_errors).
+struct engine_counters {
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0; ///< also build errors (bad benchmark, cyclic dfg)
+  std::uint64_t computed = 0;     ///< ran Algorithm 1
+  std::uint64_t deduped = 0;      ///< coalesced onto an identical in-flight request
+  std::uint64_t cache_hits = 0;   ///< served from the schedule cache
+
+  /// Requests served without running the scheduler / all well-formed
+  /// requests - the headline `hit_rate` the perf harness reports and CI
+  /// gates.
+  [[nodiscard]] double hit_rate() const noexcept;
+
+  /// Field-complete per-stream delta (run_stream subtracts the engine's
+  /// cumulative counters before/after).
+  [[nodiscard]] engine_counters operator-(const engine_counters& rhs) const noexcept;
+};
+
+/// Per-run_stream accounting (counters are the delta for that stream).
+struct stream_summary {
+  engine_counters counters;
+  std::size_t batches = 0;
+  double wall_ms = 0;
+
+  [[nodiscard]] double requests_per_sec() const noexcept;
+};
+
+/// One raw JSONL input line.
+struct batch_line {
+  std::size_t line = 0; ///< 1-based
+  std::string text;
+};
+
+class engine {
+public:
+  explicit engine(const engine_options& options = {});
+  ~engine();
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  /// Runs one batch of raw request lines through the full pipeline and
+  /// returns responses in input order.
+  [[nodiscard]] std::vector<response> run_batch(const std::vector<batch_line>& lines);
+
+  /// Reads JSONL from `in` in batch_size waves, returning all responses
+  /// (tests and the bench harness compare these across configurations).
+  /// Blank lines are skipped.
+  [[nodiscard]] std::vector<response> run_collect(std::istream& in);
+
+  /// run_collect + JSONL serialization to `out`, one response per line.
+  stream_summary run_stream(std::istream& in, std::ostream& out);
+
+  /// Serializes one response as a single-line JSON object (no trailing
+  /// newline). With emit_schedule off, the start/unit arrays are omitted.
+  void write_response(std::ostream& out, const response& r) const;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const engine_options& options() const noexcept { return options_; }
+  [[nodiscard]] const engine_counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] schedule_cache& cache() noexcept { return cache_; }
+
+private:
+  struct memo_entry {
+    ir::dfg_digest digest;
+    std::string error; ///< non-empty: the design source fails to build
+    /// Source vertex id -> canonical index: how this source's numbering
+    /// maps onto the canonical space results are computed and cached in.
+    std::vector<std::uint32_t> canonical_of;
+  };
+
+  /// The one JSONL read loop (line numbering, blank-line skip, batch_size
+  /// waves) behind run_collect and run_stream; returns the batch count.
+  std::size_t drain_stream(std::istream& in,
+                           const std::function<void(std::vector<response>)>& sink);
+
+  engine_options options_;
+  unsigned jobs_ = 1;
+  schedule_cache cache_;
+  std::unique_ptr<thread_pool> pool_; ///< null when jobs_ == 1
+  engine_counters counters_;
+
+  // Source-signature -> canonical digest memo: the hot path hashes each
+  // distinct design once, then recognizes it by signature. Bounded by
+  // entry count AND bytes (signatures embed raw .dfg text and the
+  // canonical_of maps scale with design size, so a stream of distinct
+  // large inline designs must not grow memory past the operator's cache
+  // budget); wiped when either bound trips - the schedule cache, not the
+  // memo, is the capacity story.
+  std::unordered_map<std::string, memo_entry> source_memo_;
+  std::size_t source_memo_bytes_ = 0;
+  static constexpr std::size_t source_memo_limit = 1 << 16;
+  [[nodiscard]] std::size_t source_memo_byte_budget() const noexcept;
+};
+
+} // namespace softsched::serve

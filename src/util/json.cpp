@@ -9,6 +9,7 @@
 namespace softsched {
 
 void json_writer::newline_indent() {
+  if (compact_) return;
   *os_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
 }
@@ -70,7 +71,7 @@ void json_writer::key(std::string_view name) {
   newline_indent();
   *os_ << '"';
   write_escaped(name);
-  *os_ << "\": ";
+  *os_ << (compact_ ? "\":" : "\": ");
   key_pending_ = true;
 }
 

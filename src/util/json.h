@@ -27,7 +27,10 @@ namespace softsched {
 /// open (done() checks).
 class json_writer {
 public:
-  explicit json_writer(std::ostream& os) : os_(&os) {}
+  /// `compact` drops all newlines/indentation - one-line output for JSONL
+  /// streams (the serve engine's response lines).
+  explicit json_writer(std::ostream& os, bool compact = false)
+      : os_(&os), compact_(compact) {}
 
   void begin_object();
   void end_object();
@@ -64,6 +67,7 @@ private:
   void write_escaped(std::string_view s);
 
   std::ostream* os_;
+  bool compact_ = false;
   std::vector<frame> stack_;
   std::vector<bool> has_items_; // parallel to stack_
   bool key_pending_ = false;

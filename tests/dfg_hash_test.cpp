@@ -1,0 +1,232 @@
+// dfg_hash_test.cpp - the canonical content digest behind the schedule
+// cache: invariance under vertex renumbering and dfg_io round trips,
+// sensitivity to every input the scheduler's outcome depends on (edges,
+// kinds, delays, allocation, options), and the canonical topological
+// order itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/benchmarks.h"
+#include "ir/dfg_hash.h"
+#include "ir/dfg_io.h"
+
+namespace si = softsched::ir;
+namespace sg = softsched::graph;
+using sg::vertex_id;
+
+namespace {
+
+/// A small non-trivial DFG: two multiply chains feeding an add reduction
+/// with a memory access. Built in two different (both topological)
+/// insertion orders by the renumbering test.
+si::dfg make_reference(const si::resource_library& lib) {
+  si::dfg d("ref", lib);
+  const auto a = d.add_op(si::op_kind::load, {}, "a");
+  const auto b = d.add_op(si::op_kind::mul, {a}, "b");
+  const auto c = d.add_op(si::op_kind::mul, {a}, "c");
+  const auto e = d.add_op(si::op_kind::add, {b, c}, "e");
+  const auto f = d.add_op(si::op_kind::sub, {c}, "f");
+  d.add_op(si::op_kind::store, {e, f}, "g");
+  return d;
+}
+
+/// The same graph with vertices created in a different topological order
+/// (and different names), so every vertex id differs from make_reference.
+si::dfg make_renumbered(const si::resource_library& lib) {
+  si::dfg d("other", lib);
+  const auto a = d.add_op(si::op_kind::load, {}, "x0");
+  const auto c = d.add_op(si::op_kind::mul, {a}, "x1"); // c before b this time
+  const auto f = d.add_op(si::op_kind::sub, {c}, "x2"); // f early
+  const auto b = d.add_op(si::op_kind::mul, {a}, "x3");
+  const auto e = d.add_op(si::op_kind::add, {b, c}, "x4");
+  d.add_op(si::op_kind::store, {e, f}, "x5");
+  return d;
+}
+
+} // namespace
+
+TEST(DfgHash, RenumberingInvariance) {
+  const si::resource_library lib;
+  const si::dfg a = make_reference(lib);
+  const si::dfg b = make_renumbered(lib);
+  EXPECT_EQ(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, NamesDoNotParticipate) {
+  const si::resource_library lib;
+  si::dfg a("n1", lib);
+  a.add_op(si::op_kind::add, {}, "first");
+  si::dfg b("n2", lib);
+  b.add_op(si::op_kind::add, {}, "completely_different");
+  EXPECT_EQ(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, DfgIoRoundTripPreservesDigest) {
+  const si::resource_library lib;
+  for (const char* name : {"ewf", "hal", "arf", "fir16", "iir8"}) {
+    const si::dfg original = si::make_benchmark(name, lib);
+    std::ostringstream text;
+    si::write_dfg(text, original);
+    const si::dfg reloaded = si::read_dfg_string(text.str(), lib);
+    EXPECT_EQ(si::canonical_dfg_digest(original), si::canonical_dfg_digest(reloaded))
+        << name;
+  }
+}
+
+TEST(DfgHash, ExtraEdgeChangesDigest) {
+  const si::resource_library lib;
+  si::dfg a = make_reference(lib);
+  si::dfg b = make_reference(lib);
+  // b -> f: a new dependence between existing operations.
+  b.add_dependence(vertex_id(1), vertex_id(4));
+  EXPECT_NE(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, KindChangesDigest) {
+  const si::resource_library lib;
+  si::dfg a("k", lib);
+  a.add_op(si::op_kind::add, {});
+  si::dfg b("k", lib);
+  b.add_op(si::op_kind::sub, {}); // same class and latency, different kind
+  EXPECT_NE(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, LibraryLatencyChangesDigest) {
+  const si::resource_library standard;
+  si::resource_library slow_mul;
+  slow_mul.set_latency(si::op_kind::mul, 3);
+  const si::dfg a = si::make_fir8(standard);
+  const si::dfg b = si::make_fir8(slow_mul);
+  EXPECT_NE(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, WireDelayChangesDigest) {
+  const si::resource_library lib;
+  si::dfg a("w", lib);
+  const auto a0 = a.add_op(si::op_kind::add, {});
+  a.add_wire(1, {a0});
+  si::dfg b("w", lib);
+  const auto b0 = b.add_op(si::op_kind::add, {});
+  b.add_wire(2, {b0});
+  EXPECT_NE(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, DistinguishesChainFromFanout) {
+  // Same vertex multiset (three adds), different edge relation.
+  const si::resource_library lib;
+  si::dfg chain("c", lib);
+  const auto c0 = chain.add_op(si::op_kind::add, {});
+  const auto c1 = chain.add_op(si::op_kind::add, {c0});
+  chain.add_op(si::op_kind::add, {c1});
+  si::dfg fanout("f", lib);
+  const auto f0 = fanout.add_op(si::op_kind::add, {});
+  fanout.add_op(si::op_kind::add, {f0});
+  fanout.add_op(si::op_kind::add, {f0});
+  EXPECT_NE(si::canonical_dfg_digest(chain), si::canonical_dfg_digest(fanout));
+}
+
+TEST(DfgHash, ScheduleKeySensitiveToAllocationAndSalt) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  const si::dfg_digest digest = si::canonical_dfg_digest(d);
+  const si::dfg_digest base = si::schedule_key(digest, {2, 2, 1}, 1);
+  EXPECT_NE(base, si::schedule_key(digest, {3, 2, 1}, 1));
+  EXPECT_NE(base, si::schedule_key(digest, {2, 3, 1}, 1));
+  EXPECT_NE(base, si::schedule_key(digest, {2, 2, 2}, 1));
+  EXPECT_NE(base, si::schedule_key(digest, {2, 2, 1}, 2));
+  EXPECT_EQ(base, si::schedule_key(d, {2, 2, 1}, 1)); // overloads agree
+}
+
+TEST(DfgHash, CanonicalOrderIsATopologicalPermutation) {
+  const si::resource_library lib;
+  for (const char* name : {"ewf", "arf"}) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    const std::vector<vertex_id> order = si::canonical_topo_order(d);
+    ASSERT_EQ(order.size(), d.op_count()) << name;
+    std::vector<std::size_t> position(order.size());
+    std::vector<bool> seen(order.size(), false);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ASSERT_LT(order[i].value(), order.size()) << name;
+      EXPECT_FALSE(seen[order[i].value()]) << name;
+      seen[order[i].value()] = true;
+      position[order[i].value()] = i;
+    }
+    for (const vertex_id v : d.graph().vertices())
+      for (const vertex_id s : d.graph().succs(v))
+        EXPECT_LT(position[v.value()], position[s.value()]) << name;
+  }
+}
+
+TEST(DfgHash, CanonicalOrderMatchesAcrossRenumbering) {
+  // Not just the digest: the canonical *record sequence* must agree, which
+  // shows as identical kind sequences along the canonical order.
+  const si::resource_library lib;
+  const si::dfg a = make_reference(lib);
+  const si::dfg b = make_renumbered(lib);
+  const auto ka = si::canonical_topo_order(a);
+  const auto kb = si::canonical_topo_order(b);
+  ASSERT_EQ(ka.size(), kb.size());
+  for (std::size_t i = 0; i < ka.size(); ++i)
+    EXPECT_EQ(a.kind(ka[i]), b.kind(kb[i])) << "position " << i;
+}
+
+TEST(DfgHash, HexIs32LowercaseChars) {
+  const si::dfg_digest d{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(si::dfg_digest{}.hex(), std::string(32, '0'));
+}
+
+TEST(DfgHash, DigestIsStableAcrossRuns) {
+  // Content addressing must be reproducible across processes: the digest
+  // is pure arithmetic, no pointers or ASLR-dependent state.
+  const si::resource_library lib;
+  const si::dfg d = si::make_ewf(lib);
+  const si::dfg_digest x = si::canonical_dfg_digest(d);
+  const si::dfg_digest y = si::canonical_dfg_digest(si::make_ewf(lib));
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, si::dfg_digest{});
+}
+
+TEST(DfgHash, RefinementSeparatesSignatureEqualNonAutomorphicVertices) {
+  // The 1-WL blind spot a pure cone-hash signature has: p1 (load) feeds x
+  // (add) and z (sub); p2 (load) feeds only y (add). x and y have equal
+  // forward hashes (their pred *cone hashes* agree at depth 0) and equal
+  // backward hashes (no successors), yet no automorphism maps x to y - the
+  // digest must still be invariant when the renumbering swaps x and y,
+  // which requires the iterated refinement rounds to separate them via
+  // their (distinguishable) predecessors.
+  const si::resource_library lib;
+  si::dfg a("wl", lib);
+  {
+    const auto p1 = a.add_op(si::op_kind::load, {});
+    const auto p2 = a.add_op(si::op_kind::load, {});
+    a.add_op(si::op_kind::add, {p1}); // x
+    a.add_op(si::op_kind::sub, {p1}); // z
+    a.add_op(si::op_kind::add, {p2}); // y
+  }
+  si::dfg b("wl", lib);
+  {
+    const auto p2 = b.add_op(si::op_kind::load, {});
+    const auto p1 = b.add_op(si::op_kind::load, {});
+    b.add_op(si::op_kind::add, {p2}); // y first this time
+    b.add_op(si::op_kind::add, {p1}); // x
+    b.add_op(si::op_kind::sub, {p1}); // z
+  }
+  EXPECT_EQ(si::canonical_dfg_digest(a), si::canonical_dfg_digest(b));
+}
+
+TEST(DfgHash, CanonicalFormIsIdempotentAndDigestPreserving) {
+  const si::resource_library lib;
+  for (const char* name : {"ewf", "hal", "fir16"}) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    const auto order = si::canonical_topo_order(d);
+    const si::dfg canon = si::canonical_form(d, order, lib);
+    EXPECT_EQ(si::canonical_dfg_digest(canon), si::canonical_dfg_digest(d)) << name;
+    // Canonicalizing a canonical form is the identity renumbering.
+    const auto order2 = si::canonical_topo_order(canon);
+    for (std::size_t i = 0; i < order2.size(); ++i)
+      EXPECT_EQ(order2[i].value(), i) << name;
+  }
+}

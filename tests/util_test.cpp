@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/json.h"
+#include "util/json_parse.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -118,4 +120,84 @@ TEST(Check, MacroThrowsWithContext) {
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
     EXPECT_NE(what.find("one is not two"), std::string::npos);
   }
+}
+
+// -- json_parse: the reader side of the serve engine's JSONL protocol ------
+
+TEST(JsonParse, ParsesScalarsAndNesting) {
+  const auto v = softsched::parse_json(
+      R"({"name":"ewf","n":3,"neg":-2.5,"big":1e3,"ok":true,"off":false,"none":null,)"
+      R"("list":[1,[2,3],{"k":"v"}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->as_string(), "ewf");
+  EXPECT_EQ(v.find("n")->as_integer(0, 10), 3);
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_number(), -2.5);
+  EXPECT_DOUBLE_EQ(v.find("big")->as_number(), 1000.0);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_FALSE(v.find("off")->as_bool());
+  EXPECT_TRUE(v.find("none")->is_null());
+  const auto& list = v.find("list")->items();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1].items()[1].as_integer(0, 10), 3);
+  EXPECT_EQ(list[2].find("k")->as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  const auto v = softsched::parse_json(R"("a\"b\\c\n\tAé€")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA\xc3\xa9\xe2\x82\xac");
+  const auto pair = softsched::parse_json(R"("😀")"); // surrogate pair
+  EXPECT_EQ(pair.as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, PreservesMemberOrderAndRejectsDuplicates) {
+  const auto v = softsched::parse_json(R"({"z":1,"a":2})");
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_THROW(softsched::parse_json(R"({"a":1,"a":2})"), softsched::json_error);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  using softsched::json_error;
+  using softsched::parse_json;
+  EXPECT_THROW(parse_json(""), json_error);
+  EXPECT_THROW(parse_json("{"), json_error);
+  EXPECT_THROW(parse_json("[1,]"), json_error);
+  EXPECT_THROW(parse_json(R"({"a" 1})"), json_error);
+  EXPECT_THROW(parse_json("{} trailing"), json_error);
+  EXPECT_THROW(parse_json(R"("unterminated)"), json_error);
+  EXPECT_THROW(parse_json(R"("bad \x escape")"), json_error);
+  EXPECT_THROW(parse_json("01"), json_error);
+  EXPECT_THROW(parse_json("1."), json_error);
+  EXPECT_THROW(parse_json("tru"), json_error);
+  EXPECT_THROW(parse_json("\"tab\tliteral\""), json_error);
+  EXPECT_THROW(parse_json(R"("\ud800 lonely")"), json_error);
+}
+
+TEST(JsonParse, TypedAccessorsEnforceKinds) {
+  const auto v = softsched::parse_json(R"({"s":"x","n":1.5})");
+  EXPECT_THROW((void)v.find("s")->as_number(), softsched::json_error);
+  EXPECT_THROW((void)v.find("n")->as_string(), softsched::json_error);
+  EXPECT_THROW((void)v.find("n")->as_integer(0, 10), softsched::json_error);
+  EXPECT_THROW((void)v.as_bool(), softsched::json_error);
+  EXPECT_THROW((void)softsched::parse_json("[1]").members(), softsched::json_error);
+}
+
+TEST(JsonWriter, CompactModeIsSingleLine) {
+  std::ostringstream os;
+  softsched::json_writer j(os, /*compact=*/true);
+  j.begin_object();
+  j.member("a", 1);
+  j.key("list");
+  j.begin_array();
+  j.value(2);
+  j.value("x");
+  j.end_array();
+  j.end_object();
+  EXPECT_TRUE(j.done());
+  EXPECT_EQ(os.str(), R"({"a":1,"list":[2,"x"]})");
+  // And the round trip through the parser holds.
+  const auto v = softsched::parse_json(os.str());
+  EXPECT_EQ(v.find("a")->as_integer(0, 10), 1);
 }

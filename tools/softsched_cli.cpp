@@ -9,6 +9,7 @@
 //   softsched_cli --beh design.beh --scheduler list
 //   softsched_cli --bench hal --meta dfs --spill m1 --stats --dot state.dot
 //   softsched_cli --dfg design.dfg --scheduler fds --latency 20
+//   softsched_cli --serve-batch requests.jsonl --out responses.jsonl --jobs 8
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -31,6 +32,7 @@
 #include "meta/meta_schedule.h"
 #include "refine/refinement.h"
 #include "regalloc/left_edge.h"
+#include "serve/engine.h"
 #include "regalloc/lifetime.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -44,6 +46,7 @@ namespace sh = softsched::hard;
 namespace sm = softsched::meta;
 namespace sl = softsched::lang;
 namespace sf = softsched::refine;
+namespace sv = softsched::serve;
 using sg::vertex_id;
 
 namespace {
@@ -71,6 +74,12 @@ struct options {
   int jobs = 0; // 0 = all hardware threads
   std::string alus_range, muls_range, mems_range, mul_lat_range; // "lo:hi" or "n"
   std::string explore_out;
+  // batch scheduling service mode
+  std::string serve_batch; // JSONL request file; "-" = stdin
+  std::string out_file;    // JSONL response file; "-"/empty = stdout
+  int cache_mb = 64;
+  int serve_batch_size = 64;
+  bool serve_compact = false; // omit start/unit arrays from responses
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -96,6 +105,12 @@ struct options {
       << "  --alus-range/--muls-range/--mems-range <lo:hi>  grid axes (1:4/1:3/1:1)\n"
       << "  --mul-lat-range <lo:hi>                         mul latency axis (2:2)\n"
       << "  --explore-out <file>                            JSON report\n"
+      << "batch scheduling service (JSONL in -> JSONL out; schema in README):\n"
+      << "  --serve-batch <file|->                          request file (- = stdin)\n"
+      << "  --out <file|->                                  responses (default stdout)\n"
+      << "  --cache-mb <n>                                  schedule cache budget (64)\n"
+      << "  --serve-batch-size <n>                          requests per wave (64)\n"
+      << "  --serve-compact                                 omit start/unit arrays\n"
       << "output:\n"
       << "  --gantt  --stats  --registers  --dot <file|->\n";
   std::exit(error.empty() ? 0 : 2);
@@ -128,6 +143,11 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--mems-range") opt.mems_range = need(i);
     else if (arg == "--mul-lat-range") opt.mul_lat_range = need(i);
     else if (arg == "--explore-out") opt.explore_out = need(i);
+    else if (arg == "--serve-batch") opt.serve_batch = need(i);
+    else if (arg == "--out") opt.out_file = need(i);
+    else if (arg == "--cache-mb") opt.cache_mb = std::atoi(need(i).c_str());
+    else if (arg == "--serve-batch-size") opt.serve_batch_size = std::atoi(need(i).c_str());
+    else if (arg == "--serve-compact") opt.serve_compact = true;
     else if (arg == "--gantt") opt.gantt = true;
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--registers") opt.registers = true;
@@ -138,7 +158,13 @@ options parse_args(int argc, char** argv) {
   const int inputs = static_cast<int>(!opt.bench.empty()) +
                      static_cast<int>(!opt.dfg_file.empty()) +
                      static_cast<int>(!opt.beh_file.empty());
-  if (inputs != 1) usage(argv[0], "exactly one of --bench/--dfg/--beh is required");
+  if (!opt.serve_batch.empty()) {
+    if (inputs != 0)
+      usage(argv[0], "--serve-batch reads designs from its JSONL requests, "
+                     "not from --bench/--dfg/--beh");
+  } else if (inputs != 1) {
+    usage(argv[0], "exactly one of --bench/--dfg/--beh is required");
+  }
   return opt;
 }
 
@@ -250,7 +276,54 @@ int run_explore(const options& opt) {
   return 0;
 }
 
+// Batch scheduling service: JSONL requests -> JSONL responses, cache and
+// dedup summary on stderr (stdout stays machine-readable).
+int run_serve(const options& opt) {
+  SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(opt.serve_batch_size >= 0, "--serve-batch-size must be >= 0");
+  sv::engine_options eopt;
+  eopt.jobs = opt.jobs;
+  eopt.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
+  eopt.batch_size = static_cast<std::size_t>(opt.serve_batch_size);
+  eopt.emit_schedule = !opt.serve_compact;
+
+  std::ifstream in_file;
+  std::istream* in = &std::cin;
+  if (opt.serve_batch != "-") {
+    in_file.open(opt.serve_batch);
+    if (!in_file) throw softsched::precondition_error("cannot open " + opt.serve_batch);
+    in = &in_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!opt.out_file.empty() && opt.out_file != "-") {
+    out_file.open(opt.out_file);
+    if (!out_file) throw softsched::precondition_error("cannot open " + opt.out_file);
+    out = &out_file;
+  }
+
+  sv::engine eng(eopt);
+  const sv::stream_summary summary = eng.run_stream(*in, *out);
+  // Flush before checking: a write failure (disk full) surfacing only at
+  // close must not exit 0 with a truncated response file.
+  out->flush();
+  if (!*out) throw softsched::precondition_error("failed to write responses");
+
+  const sv::engine_counters& c = summary.counters;
+  const sv::cache_counters cc = eng.cache().counters();
+  std::cerr << "serve: " << c.requests << " requests in " << summary.batches
+            << " batches on " << eng.jobs() << " jobs: " << c.computed
+            << " scheduled, " << c.cache_hits << " cache hits, " << c.deduped
+            << " deduped, " << c.parse_errors << " errors (hit rate "
+            << c.hit_rate() << ")\n";
+  std::cerr << "serve: " << summary.wall_ms << " ms, " << summary.requests_per_sec()
+            << " requests/sec; cache " << cc.entries << " entries, " << cc.bytes
+            << " bytes, " << cc.evictions << " evictions\n";
+  return 0;
+}
+
 int run(const options& opt) {
+  if (!opt.serve_batch.empty()) return run_serve(opt);
   if (opt.explore) return run_explore(opt);
   const si::resource_library lib;
   si::dfg design = load_design(opt, lib);
