@@ -1,0 +1,22 @@
+// backend_harness - standalone runner for the scheduler-backend comparison
+// scenario (the same suite perf_harness embeds as the "backend" block of
+// BENCH_softsched.json; see backend_scenario.h): every registered backend
+// over the named paper benchmarks under 2+/-,2*, printing the JSON block
+// to stdout. Exits nonzero if any backend is nondeterministic across
+// passes or produces an illegal schedule.
+//
+// Usage: backend_harness
+#include <iostream>
+
+#include "backend_scenario.h"
+
+int main() {
+  softsched::json_writer j(std::cout);
+  const bool ok = softsched::bench::write_backend_scenario(j);
+  std::cout << '\n';
+  if (!j.done()) {
+    std::cerr << "backend_harness: emitted malformed JSON\n";
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

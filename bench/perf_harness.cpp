@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "backend_scenario.h"
 #include "core/hls_binding.h"
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
@@ -438,6 +439,13 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: batch scheduling service...\n";
   j.key("serve");
   ok = softsched::bench::write_serve_scenario(j, seed) && ok;
+
+  // Fixed benchmark suite under every registered scheduler backend (see
+  // backend_scenario.h): the head-to-head numbers the paper's comparison
+  // story rests on, cross-checked for determinism and legality.
+  std::cerr << "perf_harness: scheduler backends...\n";
+  j.key("backend");
+  ok = softsched::bench::write_backend_scenario(j) && ok;
 
   j.end_object(); // scenarios
   j.end_object(); // root

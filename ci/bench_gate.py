@@ -30,6 +30,15 @@ def metrics(doc):
         "serve.requests_per_sec_hot": s["serve"]["requests_per_sec_hot"],
         "serve.requests_per_sec_cold": s["serve"]["requests_per_sec_cold"],
         "serve.hit_rate": s["serve"]["hit_rate"],
+        "backend.soft_points_per_sec": s["backend"]["per_backend"]["soft"][
+            "points_per_sec"
+        ],
+        "backend.list_points_per_sec": s["backend"]["per_backend"]["list"][
+            "points_per_sec"
+        ],
+        "backend.fds_points_per_sec": s["backend"]["per_backend"]["fds"][
+            "points_per_sec"
+        ],
     }
 
 
@@ -79,6 +88,21 @@ def validate(doc, label):
                 f"{label}: serve: hot cache only "
                 f"{serve['speedup_hot_over_cold']:.2f}x faster than cold (< 5x)"
             )
+    backend = s.get("backend")
+    if not backend:
+        errors.append(f"{label}: missing scenario backend")
+    else:
+        if not backend["deterministic"]:
+            errors.append(f"{label}: backend: a backend diverged or went illegal")
+        for name, entry in backend["per_backend"].items():
+            if not entry["deterministic"]:
+                errors.append(f"{label}: backend: {name} diverged across passes")
+            if not entry["all_legal"]:
+                errors.append(
+                    f"{label}: backend: {name} produced an illegal schedule"
+                )
+            if entry["points_per_sec"] <= 0:
+                errors.append(f"{label}: backend: {name}: bad throughput")
     return errors
 
 
@@ -112,6 +136,7 @@ def main():
         "dse.points_per_sec_multi",
         "serve.requests_per_sec_hot",
         "serve.hit_rate",
+        "backend.soft_points_per_sec",
     }
 
     print("### Benchmark gate (fail only on >%.0fx regression)\n" % TOLERANCE)
@@ -141,6 +166,13 @@ def main():
         f"on {serve['jobs']} jobs, hot/cold speedup "
         f"{serve['speedup_hot_over_cold']:.1f}x, hit rate {serve['hit_rate']:.3f}, "
         f"deterministic={serve['deterministic']}"
+    )
+    backend = fresh["scenarios"]["backend"]
+    print(
+        f"\nbackend: {len(backend['designs'])} designs under "
+        f"{backend['constraint']} across {len(backend['per_backend'])} backends "
+        f"({', '.join(backend['per_backend'])}), "
+        f"deterministic={backend['deterministic']}"
     )
 
     if errors:

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Documentation checks for CI.
+
+Two subcommands, both run by the `docs` job:
+
+  links    — scan README.md and docs/*.md for dead *relative* links:
+             every [text](target) whose target is a path inside the repo
+             must exist. External links (http/https/mailto), pure
+             anchors, and site-relative paths that escape the checkout
+             (e.g. the CI badge's ../../actions/...) are skipped — the
+             checker validates the repo, not the internet.
+
+  examples — extract the fenced ```sh blocks from a markdown file and run
+             them sequentially, in one shared scratch directory, with the
+             built CLI's directory prepended to PATH. docs/SERVING.md's
+             worked examples are written to pass verbatim, so a schema
+             drift between the docs and the CLI fails CI.
+
+Usage:
+  check_docs.py links [REPO_ROOT]
+  check_docs.py examples FILE.md --cli PATH/TO/softsched_cli
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# [text](target) — good enough for these docs; fenced code is stripped
+# first so example snippets cannot contribute false links.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def check_links(root: Path) -> int:
+    failures = []
+    docs = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    for doc in docs:
+        if not doc.exists():
+            failures.append(f"{doc}: file listed for checking does not exist")
+            continue
+        text = FENCE.sub("", doc.read_text())
+        for target in LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure #anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                continue  # site-relative (badge links), not a repo path
+            if not resolved.exists():
+                failures.append(f"{doc.relative_to(root)}: dead link -> {target}")
+    for failure in failures:
+        print(f"check_docs: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"check_docs: links ok across {len(docs)} documents")
+    return 1 if failures else 0
+
+
+def run_examples(doc: Path, cli: Path, workdir: Path) -> int:
+    blocks = re.findall(r"```sh\n(.*?)```", doc.read_text(), re.DOTALL)
+    if not blocks:
+        print(f"check_docs: no sh blocks found in {doc}", file=sys.stderr)
+        return 1
+    env = dict(os.environ)
+    env["PATH"] = f"{cli.resolve().parent}{os.pathsep}{env['PATH']}"
+    for index, block in enumerate(blocks, 1):
+        script = "set -euo pipefail\n" + block
+        print(f"check_docs: running {doc.name} example block {index}/{len(blocks)}")
+        result = subprocess.run(
+            ["bash", "-c", script], cwd=workdir, env=env
+        )
+        if result.returncode != 0:
+            print(
+                f"check_docs: {doc.name} example block {index} failed "
+                f"(exit {result.returncode}):\n{block}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"check_docs: all {len(blocks)} example blocks passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    links = sub.add_parser("links")
+    links.add_argument("root", nargs="?", default=".")
+    examples = sub.add_parser("examples")
+    examples.add_argument("doc")
+    examples.add_argument("--cli", required=True)
+    examples.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+
+    if args.command == "links":
+        return check_links(Path(args.root))
+    cli = Path(args.cli)
+    if not cli.exists():
+        print(f"check_docs: CLI not found at {cli}", file=sys.stderr)
+        return 1
+    import tempfile
+
+    if args.workdir:
+        return run_examples(Path(args.doc).resolve(), cli, Path(args.workdir))
+    with tempfile.TemporaryDirectory() as scratch:
+        return run_examples(Path(args.doc).resolve(), cli, Path(scratch))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,23 @@ def minimal_doc():
                 "speedup_hot_over_cold": 50.0,
                 "hit_rate": 0.925,
             },
+            "backend": {
+                "constraint": "2+/-,2*",
+                "designs": ["hal", "arf", "ewf", "fir8"],
+                "deterministic": True,
+                "per_backend": {
+                    name: {
+                        "points_per_sec": rate,
+                        "deterministic": True,
+                        "all_legal": True,
+                    }
+                    for name, rate in (
+                        ("soft", 40000.0),
+                        ("list", 150000.0),
+                        ("fds", 50.0),
+                    )
+                },
+            },
         },
     }
 
@@ -141,3 +158,32 @@ def test_nondeterministic_serve_fails(tmp_path):
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 1
     assert "diverged" in result.stdout
+
+
+def test_missing_backend_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["backend"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "backend" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_illegal_backend_schedule_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["backend"]["per_backend"]["fds"]["all_legal"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "illegal schedule" in result.stdout
+
+
+def test_ungated_backend_throughput_may_regress(tmp_path):
+    # Only the soft backend's throughput gates; the baselines are trend info.
+    fresh = minimal_doc()
+    fresh["scenarios"]["backend"]["per_backend"]["fds"]["points_per_sec"] = 1.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+    fresh["scenarios"]["backend"]["per_backend"]["soft"]["points_per_sec"] = 1.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "backend.soft_points_per_sec" in result.stdout

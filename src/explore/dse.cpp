@@ -1,9 +1,9 @@
 #include "explore/dse.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
-#include "core/hls_binding.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -25,7 +25,7 @@ bool same_allocation(const ir::resource_set& a, const ir::resource_set& b) {
 } // namespace
 
 bool point_result::same_schedule(const point_result& other) const {
-  return point.index == other.point.index &&
+  return backend == other.backend && point.index == other.point.index &&
          same_allocation(point.resources, other.point.resources) &&
          point.mul_latency == other.point.mul_latency && feasible == other.feasible &&
          infeasible_reason == other.infeasible_reason && ops == other.ops &&
@@ -45,7 +45,9 @@ double exploration_result::points_per_sec() const {
 }
 
 bool exploration_result::same_outcome(const exploration_result& other) const {
-  if (points.size() != other.points.size() || frontier != other.frontier) return false;
+  if (points.size() != other.points.size() || backends != other.backends ||
+      frontiers != other.frontiers || frontier != other.frontier)
+    return false;
   for (std::size_t i = 0; i < points.size(); ++i)
     if (!points[i].same_schedule(other.points[i])) return false;
   return true;
@@ -53,34 +55,38 @@ bool exploration_result::same_outcome(const exploration_result& other) const {
 
 point_result run_point(const grid_spec& spec, const design_point& point,
                        meta::meta_kind meta) {
-  SOFTSCHED_EXPECT(meta != meta::meta_kind::random,
+  sched::backend_options options;
+  options.meta = meta;
+  return run_point(spec, point, sched::get_backend("soft"), options);
+}
+
+point_result run_point(const grid_spec& spec, const design_point& point,
+                       const sched::scheduler_backend& backend,
+                       const sched::backend_options& options) {
+  SOFTSCHED_EXPECT(options.meta != meta::meta_kind::random,
                    "exploration needs a deterministic meta schedule");
   point_result r;
   r.point = point;
+  r.backend = backend.name();
   r.area = allocation_area(point.resources);
 
-  // Everything below is private to this job: library, DFG, meta order,
-  // threaded state. Share-nothing is the determinism argument.
+  // Everything below is private to this job: library, DFG, and whatever
+  // state the backend builds. Share-nothing is the determinism argument;
+  // backends are stateless, so sharing the registry instance is sound.
   ir::resource_library library;
   apply_point_latency(point, library);
   const ir::dfg design = build_design(spec.design, library);
   r.ops = design.op_count();
 
   const auto t0 = clock_type::now();
-  try {
-    core::threaded_graph state = core::make_hls_state(design, point.resources);
-    state.schedule_all(meta::meta_schedule(design.graph(), meta));
-    r.latency = state.diameter();
-    r.start_times = state.asap_start_times();
-    r.unit_of.reserve(design.op_count());
-    for (const graph::vertex_id v : design.graph().vertices())
-      r.unit_of.push_back(state.thread_of(v));
-    r.stats = state.stats();
-    r.feasible = true;
-  } catch (const infeasible_error& e) {
-    r.infeasible_reason = e.what();
-  }
+  sched::backend_outcome outcome = backend.run(design, library, point.resources, options);
   r.wall_ms = millis_since(t0);
+  r.feasible = outcome.feasible;
+  r.infeasible_reason = std::move(outcome.infeasible_reason);
+  r.latency = outcome.latency;
+  r.start_times = std::move(outcome.start_times);
+  r.unit_of = std::move(outcome.unit_of);
+  r.stats = outcome.stats;
   return r;
 }
 
@@ -88,30 +94,58 @@ exploration_result run_exploration(const grid_spec& spec,
                                    const exploration_options& options) {
   const std::vector<design_point> points = enumerate_grid(spec);
   exploration_result out;
-  out.points.resize(points.size());
+  out.backends = options.backends.empty() ? std::vector<std::string>{"soft"}
+                                          : options.backends;
+  // Resolve every backend before any point runs: an unknown name is a
+  // caller error, not 24 infeasible points. Duplicates are rejected too -
+  // they would double the grid and emit a JSON report whose "frontiers"
+  // object repeats a key, which the repo's own strict parser refuses.
+  std::vector<const sched::scheduler_backend*> backends;
+  backends.reserve(out.backends.size());
+  for (const std::string& name : out.backends) {
+    const sched::scheduler_backend* backend = &sched::get_backend(name);
+    SOFTSCHED_EXPECT(std::find(backends.begin(), backends.end(), backend) ==
+                         backends.end(),
+                     "duplicate scheduler backend '" + name + "' in exploration");
+    backends.push_back(backend);
+  }
+  sched::backend_options bopt;
+  bopt.meta = options.meta;
+
+  const std::size_t total = points.size() * backends.size();
+  out.points.resize(total);
   out.jobs = options.jobs < 1 ? thread_pool::hardware_workers()
                               : static_cast<unsigned>(options.jobs);
-  // One job per point at most: extra workers would only sit idle, and an
-  // absurd --jobs value must not translate into thousands of threads.
-  if (out.jobs > points.size())
-    out.jobs = static_cast<unsigned>(points.empty() ? 1 : points.size());
+  // One job per (backend, point) at most: extra workers would only sit
+  // idle, and an absurd --jobs value must not translate into thousands of
+  // threads.
+  if (out.jobs > total) out.jobs = static_cast<unsigned>(total == 0 ? 1 : total);
 
   const auto t0 = clock_type::now();
   {
     // Each job writes only its own pre-allocated slot, so the result vector
     // needs no lock and the outcome no longer depends on completion order.
     thread_pool pool(out.jobs);
-    parallel_for_index(&pool, points.size(), [&](std::size_t i) {
-      out.points[i] = run_point(spec, points[i], options.meta);
+    parallel_for_index(&pool, total, [&](std::size_t i) {
+      const std::size_t b = i / points.size();
+      out.points[i] = run_point(spec, points[i % points.size()], *backends[b], bopt);
     });
   }
   out.wall_ms = millis_since(t0);
 
-  std::vector<objective> objectives(out.points.size());
-  for (std::size_t i = 0; i < out.points.size(); ++i)
-    objectives[i] = objective{out.points[i].area, out.points[i].latency,
-                              out.points[i].feasible};
-  out.frontier = pareto_frontier(objectives);
+  // One frontier per backend, each computed over its contiguous block but
+  // indexed into the global points vector.
+  out.frontiers.resize(backends.size());
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    std::vector<objective> objectives(points.size());
+    const std::size_t base = b * points.size();
+    for (std::size_t i = 0; i < points.size(); ++i)
+      objectives[i] = objective{out.points[base + i].area, out.points[base + i].latency,
+                                out.points[base + i].feasible};
+    out.frontiers[b] = pareto_frontier(objectives);
+    for (int& index : out.frontiers[b]) index += static_cast<int>(base);
+  }
+  out.frontier = out.frontiers.front();
   return out;
 }
 
@@ -154,12 +188,17 @@ void write_report(json_writer& j, const grid_spec& spec,
   j.member("wall_ms", result.wall_ms);
   j.member("points_per_sec", result.points_per_sec());
   j.member("feasible", result.feasible_count());
+  j.key("backends");
+  j.begin_array();
+  for (const std::string& name : result.backends) j.value(name);
+  j.end_array();
 
   j.key("points");
   j.begin_array();
   for (const point_result& p : result.points) {
     j.begin_object();
     j.member("index", p.point.index);
+    j.member("backend", p.backend);
     j.member("resources", p.point.resources.label());
     j.member("alus", p.point.resources.alus);
     j.member("muls", p.point.resources.multipliers);
@@ -176,6 +215,26 @@ void write_report(json_writer& j, const grid_spec& spec,
   }
   j.end_array();
 
+  // Per-backend Pareto frontiers side by side; "frontier" stays the first
+  // backend's for pre-registry consumers of the report.
+  j.key("frontiers");
+  j.begin_object();
+  for (std::size_t b = 0; b < result.frontiers.size(); ++b) {
+    j.key(result.backends[b]);
+    j.begin_array();
+    for (const int i : result.frontiers[b]) {
+      const point_result& p = result.points[static_cast<std::size_t>(i)];
+      j.begin_object();
+      j.member("index", p.point.index);
+      j.member("resources", p.point.resources.label());
+      j.member("mul_latency", p.point.mul_latency);
+      j.member("area", p.area);
+      j.member("latency", p.latency);
+      j.end_object();
+    }
+    j.end_array();
+  }
+  j.end_object();
   j.key("frontier");
   j.begin_array();
   for (const int i : result.frontier) {

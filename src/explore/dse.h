@@ -18,13 +18,15 @@
 #include "explore/grid.h"
 #include "explore/pareto.h"
 #include "meta/meta_schedule.h"
+#include "sched/backend.h"
 #include "util/json.h"
 
 namespace softsched::explore {
 
-/// Outcome of soft-scheduling one grid point.
+/// Outcome of scheduling one grid point with one backend.
 struct point_result {
   design_point point;
+  std::string backend = "soft"; ///< scheduler backend that produced this point
   bool feasible = false;
   std::string infeasible_reason; ///< set iff !feasible
   std::size_t ops = 0;
@@ -42,10 +44,17 @@ struct point_result {
 };
 
 struct exploration_result {
-  std::vector<point_result> points; ///< grid enumeration order
-  std::vector<int> frontier;        ///< Pareto-optimal point indices
-  unsigned jobs = 1;                ///< worker count actually used
-  double wall_ms = 0;               ///< whole-exploration wall time
+  /// Backend names actually explored, in option order (default {"soft"}).
+  std::vector<std::string> backends;
+  /// Backend-major: backend b's outcomes occupy the contiguous block
+  /// [b·P, (b+1)·P) in grid enumeration order, P = point_count(spec).
+  std::vector<point_result> points;
+  /// One Pareto frontier per backend (indices into `points`) - a single
+  /// grid run emits the per-backend frontiers side by side.
+  std::vector<std::vector<int>> frontiers;
+  std::vector<int> frontier; ///< frontiers[0], kept for single-backend callers
+  unsigned jobs = 1;         ///< worker count actually used
+  double wall_ms = 0;        ///< whole-exploration wall time
 
   [[nodiscard]] std::size_t feasible_count() const;
   [[nodiscard]] double points_per_sec() const;
@@ -58,13 +67,24 @@ struct exploration_result {
 struct exploration_options {
   int jobs = 0; ///< worker threads; < 1 means thread_pool::hardware_workers()
   meta::meta_kind meta = meta::meta_kind::list_priority; ///< not `random`
+  /// Scheduler backends to fan the grid out over (registry names, see
+  /// sched::backend_names()); empty means {"soft"}. Unknown names throw
+  /// precondition_error before any point runs.
+  std::vector<std::string> backends = {};
 };
 
-/// Schedules one grid point in isolation (also the body each pool job
-/// runs). Infeasible allocations - a resource class the design needs with
-/// zero units - come back with feasible = false, not an exception.
+/// Schedules one grid point in isolation with the soft scheduler (also the
+/// body each pool job runs). Infeasible allocations - a resource class the
+/// design needs with zero units - come back with feasible = false, not an
+/// exception.
 [[nodiscard]] point_result run_point(const grid_spec& spec, const design_point& point,
                                      meta::meta_kind meta);
+
+/// Backend-parameterized variant: same isolation contract, any registered
+/// scheduler backend.
+[[nodiscard]] point_result run_point(const grid_spec& spec, const design_point& point,
+                                     const sched::scheduler_backend& backend,
+                                     const sched::backend_options& options);
 
 /// The engine: enumerate, fan out, reduce.
 [[nodiscard]] exploration_result run_exploration(const grid_spec& spec,

@@ -1,0 +1,255 @@
+#include "sched/backend.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/hls_binding.h"
+#include "graph/distances.h"
+#include "hard/force_directed.h"
+#include "hard/list_scheduler.h"
+#include "util/check.h"
+
+namespace softsched::sched {
+
+namespace {
+
+using graph::vertex_id;
+
+/// The classes an allocation can actually constrain (wire is dedicated).
+constexpr std::array<ir::resource_class, 3> contended_classes = {
+    ir::resource_class::alu, ir::resource_class::multiplier,
+    ir::resource_class::memory_port};
+
+backend_outcome outcome_from_hard(const hard::schedule& s) {
+  backend_outcome r;
+  r.feasible = true;
+  r.latency = s.makespan;
+  r.start_times = s.start;
+  r.unit_of = s.unit;
+  return r;
+}
+
+// -- soft: the paper's K-threaded online scheduler -------------------------
+
+class soft_backend final : public scheduler_backend {
+public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "soft"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "K-threaded soft scheduler (Algorithm 1, refinable partial order)";
+  }
+  [[nodiscard]] backend_caps caps() const noexcept override {
+    return {.binds_units = true, .uses_meta = true, .refinable = true,
+            .time_constrained = false};
+  }
+
+  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
+                                    const ir::resource_set& resources,
+                                    const backend_options& options) const override {
+    SOFTSCHED_EXPECT(options.meta != meta::meta_kind::random,
+                     "backend runs need a deterministic meta schedule");
+    backend_outcome r;
+    try {
+      core::threaded_graph state = core::make_hls_state(d, resources);
+      // Wire pseudo-ops each need their dedicated thread before scheduling
+      // (hls_binding contract) - inline .dfg designs may carry them.
+      for (const vertex_id v : d.graph().vertices())
+        if (d.kind(v) == ir::op_kind::wire) core::add_wire_thread(state, v);
+      state.schedule_all(meta::meta_schedule(d.graph(), options.meta));
+      r.latency = state.diameter();
+      r.start_times = state.asap_start_times();
+      r.unit_of.reserve(d.op_count());
+      for (const vertex_id v : d.graph().vertices())
+        r.unit_of.push_back(state.thread_of(v));
+      r.stats = state.stats();
+      r.feasible = true;
+    } catch (const infeasible_error& e) {
+      r.infeasible_reason = e.what();
+    }
+    return r;
+  }
+};
+
+// -- list: the resource-constrained critical-path baseline -----------------
+
+class list_backend final : public scheduler_backend {
+public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "list"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "resource-constrained list scheduler (critical-path priority)";
+  }
+  [[nodiscard]] backend_caps caps() const noexcept override {
+    return {.binds_units = true, .uses_meta = false, .refinable = false,
+            .time_constrained = false};
+  }
+
+  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
+                                    const ir::resource_set& resources,
+                                    const backend_options&) const override {
+    try {
+      return outcome_from_hard(hard::list_schedule(d, resources));
+    } catch (const infeasible_error& e) {
+      backend_outcome r;
+      r.infeasible_reason = e.what();
+      return r;
+    }
+  }
+};
+
+// -- fds: force-directed, made resource-comparable by a budget search ------
+
+class fds_backend final : public scheduler_backend {
+public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "fds"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "force-directed scheduling (smallest latency budget fitting the allocation)";
+  }
+  [[nodiscard]] backend_caps caps() const noexcept override {
+    return {.binds_units = false, .uses_meta = false, .refinable = false,
+            .time_constrained = true};
+  }
+
+  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
+                                    const ir::resource_set& resources,
+                                    const backend_options& options) const override {
+    backend_outcome r;
+    // Same zero-unit screen as the other backends: FDS itself is
+    // time-constrained and would happily "fit" an allocation with no units
+    // by smearing pressure it never checks against.
+    for (const ir::resource_class cls : contended_classes) {
+      if (d.count_class(cls) > 0 && resources.count(cls) == 0) {
+        r.infeasible_reason = d.name() + " needs at least one " +
+                              std::string(ir::class_name(cls)) + " unit";
+        return r;
+      }
+    }
+
+    // Lower bounds on any resource-legal latency: the critical path, and
+    // per class ceil(total work / units) - FDS cannot beat either, so the
+    // budget search starts at their max instead of probing dead budgets.
+    const long long critical = graph::compute_distances(d.graph()).diameter;
+    if (options.fds_latency > 0 && options.fds_latency < critical) {
+      r.infeasible_reason = "latency budget " + std::to_string(options.fds_latency) +
+                            " is below the critical path " + std::to_string(critical);
+      return r;
+    }
+    long long floor = critical;
+    for (const ir::resource_class cls : contended_classes) {
+      const int units = resources.count(cls);
+      if (units <= 0) continue;
+      long long work = 0;
+      for (const vertex_id v : d.graph().vertices())
+        if (d.unit_class(v) == cls) work += d.graph().delay(v);
+      floor = std::max(floor, (work + units - 1) / units);
+    }
+
+    const long long first = options.fds_latency > 0 ? options.fds_latency : floor;
+    // -1 asks for the smallest fitting budget; an explicit budget runs once.
+    const long long last = options.fds_latency > 0 ? first : floor + budget_scan;
+    for (long long latency = first; latency <= last; ++latency) {
+      hard::fds_result fds;
+      try {
+        fds = hard::force_directed_schedule(d, latency);
+      } catch (const infeasible_error& e) {
+        r.infeasible_reason = e.what(); // budget below the critical path
+        return r;
+      }
+      const bool fits = std::ranges::all_of(contended_classes, [&](auto cls) {
+        return fds.peak[static_cast<int>(cls)] <= resources.count(cls);
+      });
+      if (fits) return outcome_from_hard(fds.sched);
+    }
+    r.infeasible_reason =
+        options.fds_latency > 0
+            ? "force-directed peak usage exceeds " + resources.label() +
+                  " at latency budget " + std::to_string(first)
+            : "force-directed peak usage exceeds " + resources.label() +
+                  " for every latency budget up to " + std::to_string(last);
+    return r;
+  }
+
+private:
+  /// How far past the lower bound the budget search walks before declaring
+  /// the allocation unreachable. FDS balances well; real designs fit at or
+  /// within a few states of the bound, and the cap keeps a pathological
+  /// (design, allocation) pair from scanning forever.
+  static constexpr long long budget_scan = 64;
+};
+
+const soft_backend soft_instance;
+const list_backend list_instance;
+const fds_backend fds_instance;
+
+/// Registration order is a wire contract: backend_index feeds the serve
+/// cache salt (docs/DESIGN.md §7). Append only.
+constexpr std::array<const scheduler_backend*, 3> registry = {
+    &soft_instance, &list_instance, &fds_instance};
+
+} // namespace
+
+hard::schedule to_hard_schedule(const backend_outcome& outcome) {
+  hard::schedule s;
+  s.start = outcome.start_times;
+  s.unit = outcome.unit_of;
+  s.makespan = outcome.latency;
+  return s;
+}
+
+bool backend_outcome::same_outcome(const backend_outcome& other) const {
+  return feasible == other.feasible && infeasible_reason == other.infeasible_reason &&
+         latency == other.latency && start_times == other.start_times &&
+         unit_of == other.unit_of && stats == other.stats;
+}
+
+std::span<const scheduler_backend* const> registered_backends() { return registry; }
+
+const scheduler_backend* find_backend(std::string_view name) {
+  for (const scheduler_backend* b : registry)
+    if (b->name() == name) return b;
+  return nullptr;
+}
+
+const scheduler_backend& get_backend(std::string_view name) {
+  const scheduler_backend* b = find_backend(name);
+  if (b == nullptr)
+    throw precondition_error("unknown scheduler backend '" + std::string(name) +
+                             "' (expected " + backend_names_joined() + ")");
+  return *b;
+}
+
+int backend_index(std::string_view name) {
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    if (registry[i]->name() == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  names.reserve(registry.size());
+  for (const scheduler_backend* b : registry) names.emplace_back(b->name());
+  return names;
+}
+
+std::string backend_names_joined() {
+  std::string joined;
+  for (const scheduler_backend* b : registry) {
+    if (!joined.empty()) joined += "|";
+    joined += b->name();
+  }
+  return joined;
+}
+
+std::uint64_t backend_option_salt(const scheduler_backend& backend,
+                                  meta::meta_kind meta) {
+  // Low byte: meta kind + 1 (the pre-registry salt, so soft keys are
+  // unchanged) - but only for backends that consume the meta order; the
+  // rest collapse every meta onto one salt so identical outcomes share one
+  // cache entry. High bits: the registry index, so the same design +
+  // allocation under two backends can never share an entry.
+  const int index = backend_index(backend.name());
+  SOFTSCHED_EXPECT(index >= 0, "salt requested for an unregistered backend");
+  const std::uint64_t meta_bits =
+      backend.caps().uses_meta ? static_cast<std::uint64_t>(meta) + 1 : 1;
+  return (static_cast<std::uint64_t>(index) << 8) | meta_bits;
+}
+
+} // namespace softsched::sched

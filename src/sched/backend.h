@@ -1,0 +1,136 @@
+// backend.h - the pluggable scheduler-backend layer: one uniform interface
+// over the soft scheduler (core/threaded_graph, the paper's contribution)
+// and the hard baselines (hard/list_scheduler, hard/force_directed), so
+// every consumer - the CLI, the batch scheduling service, the DSE grid -
+// can pick a scheduler by name and compare them head-to-head (the paper's
+// Figure 1/3 story, generalized per docs/DESIGN.md §7).
+//
+// A backend is a stateless, deterministic strategy object:
+//
+//   run(dfg, resource_library, allocation, options) -> backend_outcome
+//
+// The DFG arrives with delays already baked from the library (latency
+// variants therefore change the input, not the backend); the allocation is
+// the unit constraint every backend must respect. Outcomes use one shape -
+// per-op start cycles, per-op unit binding (-1 = unbound, e.g. FDS), final
+// latency in states, and the soft kernel's schedule_stats (zero for hard
+// backends) - so results are directly comparable and cacheable.
+//
+// Registration is static: registered_backends() returns the fixed registry
+// in a stable order, and each backend's registry index feeds the serve
+// cache key salt (backend_option_salt). The index MUST therefore never be
+// reordered within a release - see docs/DESIGN.md §7 for why the cache key
+// has to include the backend at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/threaded_graph.h"
+#include "hard/schedule.h"
+#include "ir/dfg.h"
+#include "ir/resource.h"
+#include "meta/meta_schedule.h"
+
+namespace softsched::sched {
+
+/// What a backend can and cannot do - consumers branch on capabilities,
+/// never on backend names.
+struct backend_caps {
+  bool binds_units = true;  ///< emits a unit index per op (FDS does not)
+  bool uses_meta = false;   ///< consumes the meta feed order (soft only)
+  bool refinable = false;   ///< schedule stays soft / live-refinable
+  bool time_constrained = false; ///< accepts an explicit latency budget (FDS)
+};
+
+/// Per-run knobs. Fields a backend does not consume are ignored (but still
+/// participate in the serve cache key via the meta salt - see
+/// backend_option_salt).
+struct backend_options {
+  meta::meta_kind meta = meta::meta_kind::list_priority; ///< soft feed order; never `random`
+  /// Force-directed latency budget; -1 = search the smallest budget whose
+  /// FDS schedule fits the allocation (what makes FDS resource-comparable).
+  long long fds_latency = -1;
+};
+
+/// The uniform scheduling outcome. Infeasible allocations are a reported
+/// outcome, not an exception - every consumer (serve cache, DSE grid)
+/// treats them as first-class results.
+struct backend_outcome {
+  bool feasible = false;
+  std::string infeasible_reason;      ///< set iff !feasible
+  long long latency = -1;             ///< makespan in states; -1 when infeasible
+  std::vector<long long> start_times; ///< per-op start cycle (vertex-id order)
+  std::vector<int> unit_of;           ///< per-op unit binding; -1 = unbound
+  core::schedule_stats stats;         ///< soft kernel counters; zero for hard backends
+
+  /// Value equality - the repeat-run determinism witness.
+  [[nodiscard]] bool same_outcome(const backend_outcome& other) const;
+};
+
+/// A feasible outcome as a hard::schedule - the shape
+/// hard::validate_schedule (the shared legality checker), write_gantt and
+/// the register allocator consume.
+[[nodiscard]] hard::schedule to_hard_schedule(const backend_outcome& outcome);
+
+/// One scheduler strategy. Implementations are stateless and deterministic:
+/// run() is a pure function of its arguments, so outcomes are cacheable by
+/// content (serve) and reproducible for any worker count (explore).
+class scheduler_backend {
+public:
+  virtual ~scheduler_backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  [[nodiscard]] virtual backend_caps caps() const noexcept = 0;
+
+  /// Schedules `d` under `resources`. `library` is the resource library the
+  /// DFG's delays were baked from (hard backends that re-derive per-kind
+  /// latencies may consult it; the bundled backends only need the baked
+  /// delays). Must not throw on an infeasible allocation - that is an
+  /// outcome. Throws graph_error on a cyclic input.
+  [[nodiscard]] virtual backend_outcome run(const ir::dfg& d,
+                                            const ir::resource_library& library,
+                                            const ir::resource_set& resources,
+                                            const backend_options& options) const = 0;
+};
+
+/// The registry, in stable registration order: soft (index 0), list (1),
+/// fds (2). Index order is part of the serve cache-key contract.
+[[nodiscard]] std::span<const scheduler_backend* const> registered_backends();
+
+/// Lookup by name ("soft" | "list" | "fds"); nullptr when unknown.
+[[nodiscard]] const scheduler_backend* find_backend(std::string_view name);
+
+/// Lookup that throws precondition_error listing the registered names.
+[[nodiscard]] const scheduler_backend& get_backend(std::string_view name);
+
+/// Registry index of a backend (position in registered_backends()); -1
+/// when unknown. Stable across runs - the serve cache salt depends on it.
+[[nodiscard]] int backend_index(std::string_view name);
+
+/// All registered names in registry order ("soft", "list", "fds").
+[[nodiscard]] std::vector<std::string> backend_names();
+
+/// The registered names joined as "soft|list|fds" - the one spelling every
+/// unknown-backend error message uses (get_backend, the serve request
+/// parser).
+[[nodiscard]] std::string backend_names_joined();
+
+/// The option salt the serve engine mixes into schedule_key: everything
+/// the outcome depends on beyond graph + delays + allocation, i.e. which
+/// backend ran and - only for backends whose caps().uses_meta - the feed
+/// order. Backends that ignore the meta kind get one salt for every meta,
+/// so a client sweeping meta orders against `list` hits one cache entry
+/// instead of scheduling identical results N times. The salt is nonzero
+/// for every (backend, meta) pair so "no salt" stays distinguishable, and
+/// the soft backend with any meta produces the exact salts the
+/// pre-registry engine used (cache keys for soft requests are unchanged
+/// across the refactor).
+[[nodiscard]] std::uint64_t backend_option_salt(const scheduler_backend& backend,
+                                                meta::meta_kind meta);
+
+} // namespace softsched::sched

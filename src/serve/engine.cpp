@@ -6,9 +6,8 @@
 #include <ostream>
 #include <utility>
 
-#include "core/hls_binding.h"
 #include "explore/dse.h"
-#include "meta/meta_schedule.h"
+#include "sched/backend.h"
 #include "util/check.h"
 
 namespace softsched::serve {
@@ -21,26 +20,22 @@ double millis_since(clock_type::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
 }
 
-/// The option salt schedule_key mixes in: today only the meta kind. +1 so
-/// the first enumerator is distinguishable from "no salt".
-std::uint64_t meta_salt(meta::meta_kind kind) {
-  return static_cast<std::uint64_t>(kind) + 1;
-}
-
-/// Runs Algorithm 1 for one request, share-nothing (private library, DFG
-/// and state - the same isolation argument as explore::run_point, so
-/// outcomes are identical for any worker count). Infeasible allocations
-/// are a cacheable outcome, not an error.
+/// Runs the request's scheduler backend, share-nothing (private library,
+/// DFG and whatever state the backend builds - the same isolation argument
+/// as explore::run_point, so outcomes are identical for any worker count;
+/// registry backends are stateless). Infeasible allocations are a
+/// cacheable outcome, not an error.
 ///
 /// Scheduling happens *in canonical space*: the request's DFG is rebuilt
 /// with vertices renumbered into the canonical order behind its digest
 /// (`canonical_of`: source vertex id -> canonical index), and the result
 /// arrays are canonical-indexed. Isomorphic submissions rebuild identical
 /// labelled graphs, so the cached outcome is a pure function of the cache
-/// key even though the scheduler itself (meta orders, tie-breaks) is
-/// sensitive to vertex numbering - without this step, serving request B a
-/// result computed from an isomorphic-but-renumbered request A would both
-/// misalign the arrays and break cache-size independence.
+/// key even though every scheduler (meta orders, priority and select
+/// tie-breaks) is sensitive to vertex numbering - without this step,
+/// serving request B a result computed from an isomorphic-but-renumbered
+/// request A would both misalign the arrays and break cache-size
+/// independence.
 schedule_result compute_schedule(const request& req,
                                  const std::vector<std::uint32_t>& canonical_of) {
   schedule_result r;
@@ -52,23 +47,16 @@ schedule_result compute_schedule(const request& req,
     order[canonical_of[src]] = graph::vertex_id(static_cast<std::uint32_t>(src));
   const ir::dfg design = ir::canonical_form(source, order, library);
   r.ops = design.op_count();
-  try {
-    core::threaded_graph state = core::make_hls_state(design, req.resources);
-    // Inline .dfg designs may carry wire pseudo-ops; each needs its
-    // dedicated thread before scheduling (hls_binding contract).
-    for (const graph::vertex_id v : design.graph().vertices())
-      if (design.kind(v) == ir::op_kind::wire) core::add_wire_thread(state, v);
-    state.schedule_all(meta::meta_schedule(design.graph(), req.meta));
-    r.latency = state.diameter();
-    r.start_times = state.asap_start_times();
-    r.unit_of.reserve(design.op_count());
-    for (const graph::vertex_id v : design.graph().vertices())
-      r.unit_of.push_back(state.thread_of(v));
-    r.stats = state.stats();
-    r.feasible = true;
-  } catch (const infeasible_error& e) {
-    r.infeasible_reason = e.what();
-  }
+  sched::backend_options options;
+  options.meta = req.meta;
+  sched::backend_outcome outcome =
+      sched::get_backend(req.backend).run(design, library, req.resources, options);
+  r.feasible = outcome.feasible;
+  r.infeasible_reason = std::move(outcome.infeasible_reason);
+  r.latency = outcome.latency;
+  r.start_times = std::move(outcome.start_times);
+  r.unit_of = std::move(outcome.unit_of);
+  r.stats = outcome.stats;
   return r;
 }
 
@@ -88,7 +76,8 @@ schedule_result to_source_order(const schedule_result& canonical,
 
 bool response::same_payload(const response& other) const {
   return line == other.line && id == other.id && error == other.error &&
-         key == other.key && result.same_schedule(other.result);
+         backend == other.backend && key == other.key &&
+         result.same_schedule(other.result);
 }
 
 engine_counters engine_counters::operator-(const engine_counters& rhs) const noexcept {
@@ -150,6 +139,7 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
     out[i].id = (ok[i] && !reqs[i].id.empty())
                     ? reqs[i].id
                     : "line" + std::to_string(lines[i].line);
+    if (ok[i]) out[i].backend = reqs[i].backend;
   }
 
   // -- sign + memo lookup: which distinct design sources still need a
@@ -216,7 +206,12 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
       continue;
     }
     memos[i] = &memo;
-    out[i].key = ir::schedule_key(memo.digest, reqs[i].resources, meta_salt(reqs[i].meta));
+    // The salt carries the backend (registry index) and the meta kind:
+    // identical designs under different backends must never share a cache
+    // entry (docs/DESIGN.md §7).
+    out[i].key = ir::schedule_key(
+        memo.digest, reqs[i].resources,
+        sched::backend_option_salt(sched::get_backend(reqs[i].backend), reqs[i].meta));
   }
 
   // -- dedup identical in-flight requests, consult the cache (serial, so
@@ -344,6 +339,7 @@ void engine::write_response(std::ostream& out, const response& r) const {
   if (!r.error.empty()) {
     j.member("error", r.error);
   } else {
+    j.member("backend", r.backend);
     j.member("key", r.key.hex());
     j.member("ops", r.result.ops);
     j.member("feasible", r.result.feasible);

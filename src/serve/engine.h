@@ -49,6 +49,7 @@ struct response {
   std::size_t line = 0;   ///< 1-based input line number
   std::string id;         ///< request id (default "line<N>")
   std::string error;      ///< parse/build error; empty = result is valid
+  std::string backend;    ///< scheduler backend that produced the result
   ir::dfg_digest key;     ///< schedule-cache key (zero when errored before hashing)
   schedule_result result;
   double ms = 0;          ///< scheduling latency this request paid (0 when served

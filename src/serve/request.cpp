@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ir/dfg_io.h"
+#include "sched/backend.h"
 
 namespace softsched::serve {
 
@@ -103,6 +104,12 @@ request parse_request(const json_value& object) {
     } else if (key == "meta") {
       if (!value.is_string()) bad_field(key, "must be a string");
       req.meta = parse_request_meta(value.as_string());
+    } else if (key == "backend") {
+      if (!value.is_string()) bad_field(key, "must be a string");
+      if (sched::find_backend(value.as_string()) == nullptr)
+        bad_field(key, "unknown scheduler backend '" + value.as_string() +
+                           "' (expected " + sched::backend_names_joined() + ")");
+      req.backend = value.as_string();
     } else {
       throw json_error("unknown request field '" + key + "'");
     }

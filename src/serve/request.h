@@ -4,12 +4,14 @@
 //   {"id": "q1", "bench": "ewf", "alus": 2, "muls": 2, "mems": 1,
 //    "mul_latency": 2, "meta": "list"}
 //   {"id": "q2", "random": 600, "seed": 7, "edge_prob": 0.25, "alus": 3}
-//   {"id": "q3", "dfg": "dfg t\nop a add\nop b add a\n"}
+//   {"id": "q3", "dfg": "dfg t\nop a add\nop b add a\n", "backend": "list"}
 //
 // Exactly one of "bench" / "random" / "dfg" names the design; everything
-// else is optional with the CLI's defaults. Unknown keys are rejected (a
-// typo must surface as an error response, not as a silently-default
-// schedule). The full schema is documented in README.md "Serving".
+// else is optional with the CLI's defaults. "backend" picks the scheduler
+// backend by registry name (sched::backend_names(); default "soft").
+// Unknown keys are rejected (a typo must surface as an error response, not
+// as a silently-default schedule). The full schema is documented in
+// docs/SERVING.md.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,9 @@ struct request {
   ir::resource_set resources{2, 2, 1};
   int mul_latency = 2;
   meta::meta_kind meta = meta::meta_kind::list_priority; ///< never `random`
+  /// Scheduler backend (registry name); validated at parse time, mixed
+  /// into the schedule cache key so backends never share cache entries.
+  std::string backend = "soft";
 
   /// Canonical description of the *design source* (not the allocation):
   /// two requests with equal source signatures build byte-identical DFGs.

@@ -1,0 +1,417 @@
+// sched_test.cpp - the scheduler-backend registry (src/sched) and the
+// backend threading through serve and explore:
+//
+//   * registry lookup, stable indices, capability flags;
+//   * parity: every backend produces a legal schedule (precedence +
+//     resource constraints via the shared hard::validate_schedule checker)
+//     on the named benchmarks, bounded below by the critical path and
+//     above by the serial sum of delays;
+//   * the Figure-3 shape: soft tracks the list scheduler within one state
+//     on the paper's first two resource constraints;
+//   * determinism: repeat runs are bit-identical per backend;
+//   * serve: the backend lands in the cache key (identical designs under
+//     different backends never share an entry), mixed-backend request
+//     streams stay deterministic across worker counts and cache sizes,
+//     and unknown backends error field-level at parse time;
+//   * explore: the backend axis emits per-backend Pareto frontiers,
+//     identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/dse.h"
+#include "graph/distances.h"
+#include "hard/schedule.h"
+#include "ir/benchmarks.h"
+#include "ir/dfg_hash.h"
+#include "sched/backend.h"
+#include "serve/engine.h"
+#include "util/check.h"
+
+namespace ss = softsched::sched;
+namespace se = softsched::explore;
+namespace sh = softsched::hard;
+namespace si = softsched::ir;
+namespace sg = softsched::graph;
+namespace sv = softsched::serve;
+namespace sm = softsched::meta;
+using softsched::infeasible_error;
+using softsched::precondition_error;
+
+namespace {
+
+const char* const named_benchmarks[] = {"hal", "arf", "ewf", "fir8"};
+
+long long serial_bound(const si::dfg& d) {
+  long long total = 0;
+  for (const sg::vertex_id v : d.graph().vertices()) total += d.graph().delay(v);
+  return total;
+}
+
+} // namespace
+
+// -- registry ---------------------------------------------------------------
+
+TEST(SchedRegistry, NamesLookupAndStableIndices) {
+  EXPECT_EQ(ss::backend_names(), (std::vector<std::string>{"soft", "list", "fds"}));
+  ASSERT_EQ(ss::registered_backends().size(), 3u);
+  for (const char* name : {"soft", "list", "fds"}) {
+    const ss::scheduler_backend* b = ss::find_backend(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->name(), name);
+    EXPECT_EQ(&ss::get_backend(name), b);
+  }
+  // Registry indices feed the serve cache salt: pinned, append-only.
+  EXPECT_EQ(ss::backend_index("soft"), 0);
+  EXPECT_EQ(ss::backend_index("list"), 1);
+  EXPECT_EQ(ss::backend_index("fds"), 2);
+  EXPECT_EQ(ss::backend_index("threaded"), -1);
+  EXPECT_EQ(ss::find_backend("threaded"), nullptr);
+}
+
+TEST(SchedRegistry, UnknownNameThrowsListingBackends) {
+  try {
+    (void)ss::get_backend("simulated-annealing");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simulated-annealing"), std::string::npos);
+    EXPECT_NE(what.find("soft|list|fds"), std::string::npos);
+  }
+}
+
+TEST(SchedRegistry, CapabilityFlags) {
+  const ss::backend_caps soft = ss::get_backend("soft").caps();
+  EXPECT_TRUE(soft.binds_units);
+  EXPECT_TRUE(soft.uses_meta);
+  EXPECT_TRUE(soft.refinable);
+  EXPECT_FALSE(soft.time_constrained);
+
+  const ss::backend_caps list = ss::get_backend("list").caps();
+  EXPECT_TRUE(list.binds_units);
+  EXPECT_FALSE(list.uses_meta);
+  EXPECT_FALSE(list.refinable);
+
+  const ss::backend_caps fds = ss::get_backend("fds").caps();
+  EXPECT_FALSE(fds.binds_units);
+  EXPECT_TRUE(fds.time_constrained);
+}
+
+// -- parity: legality on the named benchmarks -------------------------------
+
+TEST(SchedParity, EveryBackendLegalOnNamedBenchmarks) {
+  const si::resource_library lib;
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    const long long critical = sg::compute_distances(d.graph()).diameter;
+    // Figure 3's first two constraint columns; the third (2+/-,1*) is where
+    // the FDS heuristic's peak plateaus - covered separately below.
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+        const ss::backend_outcome r = backend->run(d, lib, rs, {});
+        ASSERT_TRUE(r.feasible) << name << " " << rs.label() << " "
+                                << backend->name() << ": " << r.infeasible_reason;
+        EXPECT_GE(r.latency, critical) << name << " " << backend->name();
+        EXPECT_LE(r.latency, serial_bound(d)) << name << " " << backend->name();
+        ASSERT_EQ(r.start_times.size(), d.op_count());
+        ASSERT_EQ(r.unit_of.size(), d.op_count());
+        // The shared checker: precedence feasibility + class-wise
+        // concurrency limits, one implementation for every backend.
+        const auto violations = sh::validate_schedule(d, ss::to_hard_schedule(r), &rs);
+        EXPECT_TRUE(violations.empty())
+            << name << " " << rs.label() << " " << backend->name() << ": "
+            << (violations.empty() ? "" : violations.front());
+        for (const int u : r.unit_of) {
+          if (backend->caps().binds_units)
+            EXPECT_GE(u, 0) << backend->name();
+          else
+            EXPECT_EQ(u, -1) << backend->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedParity, SoftTracksListWithinOneStateOnFigure3Constraints) {
+  // The paper's Figure 3 claim: threaded soft scheduling with the
+  // list-priority meta order tracks the hard list scheduler. Both are
+  // bounded below by the critical path; soft never trails by more than one
+  // state on the first two constraint columns.
+  const si::resource_library lib;
+  const ss::scheduler_backend& soft = ss::get_backend("soft");
+  const ss::scheduler_backend& list = ss::get_backend("list");
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      const ss::backend_outcome s = soft.run(d, lib, rs, {});
+      const ss::backend_outcome l = list.run(d, lib, rs, {});
+      ASSERT_TRUE(s.feasible && l.feasible) << name;
+      EXPECT_LE(s.latency, l.latency + 1) << name << " " << rs.label();
+    }
+  }
+}
+
+TEST(SchedParity, ZeroUnitAllocationIsAnOutcomeNotAnException) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("ewf", lib);
+  const si::resource_set no_muls{2, 0, 1};
+  for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+    const ss::backend_outcome r = backend->run(d, lib, no_muls, {});
+    EXPECT_FALSE(r.feasible) << backend->name();
+    EXPECT_FALSE(r.infeasible_reason.empty()) << backend->name();
+    EXPECT_EQ(r.latency, -1) << backend->name();
+  }
+}
+
+TEST(SchedParity, FdsReportsUnreachableAllocationInsteadOfIllegalSchedule) {
+  // This FDS implementation's one-level forces plateau at peak 2 on EWF,
+  // so 2+/-,1* is unreachable for any budget: the backend must say so
+  // rather than return a schedule violating the allocation.
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("ewf", lib);
+  const ss::backend_outcome r =
+      ss::get_backend("fds").run(d, lib, si::figure3_constraint(2), {});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.infeasible_reason.find("peak usage exceeds"), std::string::npos);
+}
+
+TEST(SchedParity, FdsExplicitBudgetRunsOnceAndChecksTheAllocation) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("hal", lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  ss::backend_options opt;
+  opt.fds_latency = 12; // comfortably above HAL's critical path of 6
+  const ss::backend_outcome r = ss::get_backend("fds").run(d, lib, rs, opt);
+  ASSERT_TRUE(r.feasible) << r.infeasible_reason;
+  EXPECT_EQ(r.latency, sh::validate_schedule(d, ss::to_hard_schedule(r), &rs).empty()
+                           ? r.latency
+                           : -1); // legal at the explicit budget
+  EXPECT_LE(r.latency, 12);
+
+  // A budget below the critical path is infeasible, not a throw.
+  opt.fds_latency = 3;
+  const ss::backend_outcome tight = ss::get_backend("fds").run(d, lib, rs, opt);
+  EXPECT_FALSE(tight.feasible);
+  EXPECT_FALSE(tight.infeasible_reason.empty());
+}
+
+TEST(SchedParity, RepeatRunsAreBitIdenticalPerBackend) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("arf", lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+    const ss::backend_outcome a = backend->run(d, lib, rs, {});
+    const ss::backend_outcome b = backend->run(d, lib, rs, {});
+    EXPECT_TRUE(a.same_outcome(b)) << backend->name();
+  }
+}
+
+// -- the cache-key salt -----------------------------------------------------
+
+TEST(SchedSalt, MetaEntersOnlyForMetaConsumingBackends) {
+  constexpr sm::meta_kind metas[] = {sm::meta_kind::depth_first,
+                                     sm::meta_kind::topological,
+                                     sm::meta_kind::path_based,
+                                     sm::meta_kind::list_priority};
+  std::set<std::uint64_t> distinct;
+  for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+    std::set<std::uint64_t> per_backend;
+    for (const sm::meta_kind meta : metas) {
+      const std::uint64_t salt = ss::backend_option_salt(*backend, meta);
+      EXPECT_NE(salt, 0u);
+      per_backend.insert(salt);
+      distinct.insert(salt);
+    }
+    // Soft consumes the meta order, so every meta is a distinct schedule
+    // and a distinct key; list/fds ignore it, so all metas share one cache
+    // entry instead of scheduling identical results four times.
+    EXPECT_EQ(per_backend.size(), backend->caps().uses_meta ? 4u : 1u)
+        << backend->name();
+  }
+  EXPECT_EQ(distinct.size(), 6u); // 4 soft + 1 list + 1 fds, no collisions
+  // The soft salts are the pre-registry meta salts (meta + 1): cache keys
+  // for soft requests survived the refactor unchanged.
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::depth_first),
+            1u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::list_priority),
+            4u);
+}
+
+// -- serve ------------------------------------------------------------------
+
+namespace {
+
+std::vector<sv::response> collect(sv::engine& eng, const std::string& text) {
+  std::istringstream in(text);
+  return eng.run_collect(in);
+}
+
+} // namespace
+
+TEST(SchedServe, IdenticalDesignsUnderDifferentBackendsGetDistinctKeys) {
+  sv::engine eng;
+  const std::vector<sv::response> rs = collect(
+      eng, "{\"bench\":\"ewf\"}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"soft\"}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"list\"}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"fds\"}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"list\",\"meta\":\"dfs\"}\n");
+  ASSERT_EQ(rs.size(), 5u);
+  for (const sv::response& r : rs) ASSERT_TRUE(r.error.empty()) << r.error;
+  // Default backend is soft: lines 1 and 2 share one key (and dedup).
+  EXPECT_EQ(rs[0].key, rs[1].key);
+  EXPECT_EQ(rs[0].backend, "soft");
+  // Distinct backends never share a cache entry.
+  EXPECT_NE(rs[1].key, rs[2].key);
+  EXPECT_NE(rs[1].key, rs[3].key);
+  EXPECT_NE(rs[2].key, rs[3].key);
+  // The meta order is ignored by hard backends, so it does not fragment
+  // their cache entries: list+dfs coalesces onto list+default.
+  EXPECT_EQ(rs[4].key, rs[2].key);
+  // And the schedules really came from different schedulers: the list
+  // backend binds units, fds does not, soft carries kernel stats.
+  EXPECT_EQ(rs[2].backend, "list");
+  ASSERT_TRUE(rs[2].result.feasible);
+  for (const int u : rs[2].result.unit_of) EXPECT_GE(u, 0);
+  ASSERT_TRUE(rs[3].result.feasible);
+  for (const int u : rs[3].result.unit_of) EXPECT_EQ(u, -1);
+  EXPECT_GT(rs[0].result.stats.commits, 0u);
+  EXPECT_EQ(rs[2].result.stats.commits, 0u);
+}
+
+TEST(SchedServe, UnknownBackendIsAFieldLevelParseError) {
+  sv::engine eng;
+  const std::vector<sv::response> rs =
+      collect(eng, "{\"bench\":\"ewf\",\"backend\":\"threaded\"}\n");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_NE(rs[0].error.find("backend"), std::string::npos);
+  EXPECT_NE(rs[0].error.find("threaded"), std::string::npos);
+  EXPECT_NE(rs[0].error.find("soft|list|fds"), std::string::npos);
+}
+
+TEST(SchedServe, MixedBackendStreamDeterministicAcrossJobsAndCacheSizes) {
+  // The acceptance property with the backend axis mixed in: responses are
+  // payload-identical for any worker count and any cache budget, on a
+  // stream that interleaves backends, repeats designs across backends, and
+  // includes an error line.
+  std::string text;
+  for (int i = 0; i < 3; ++i)
+    for (const char* backend : {"soft", "list", "fds"})
+      text += "{\"id\":\"q" + std::to_string(i) + std::string(backend) +
+              "\",\"bench\":\"hal\",\"backend\":\"" + backend +
+              "\",\"alus\":" + std::to_string(2 + i) + ",\"muls\":2}\n";
+  text += "{\"bench\":\"ewf\",\"backend\":\"list\"}\n";
+  text += "{\"bench\":\"ewf\",\"backend\":\"nope\"}\n";
+
+  sv::engine_options ref_opt;
+  ref_opt.jobs = 1;
+  sv::engine reference(ref_opt);
+  const std::vector<sv::response> ref = collect(reference, text);
+  ASSERT_EQ(ref.size(), 11u);
+
+  for (const int jobs : {1, 4}) {
+    for (const std::size_t cache_bytes : {std::size_t{0}, std::size_t{64} << 20}) {
+      sv::engine_options opt;
+      opt.jobs = jobs;
+      opt.cache_bytes = cache_bytes;
+      sv::engine eng(opt);
+      const std::vector<sv::response> got = collect(eng, text);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_TRUE(ref[i].same_payload(got[i]))
+            << "jobs=" << jobs << " cache=" << cache_bytes << " line " << i + 1;
+    }
+  }
+
+  // A hot re-run serves from the cache and still emits identical payloads.
+  const std::vector<sv::response> hot = collect(reference, text);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_TRUE(ref[i].same_payload(hot[i])) << "hot line " << i + 1;
+  EXPECT_GT(reference.counters().cache_hits, 0u);
+}
+
+// -- explore ----------------------------------------------------------------
+
+namespace {
+
+se::grid_spec small_ewf_grid() {
+  se::grid_spec spec;
+  spec.design.bench = "ewf";
+  spec.alus = {2, 3};
+  spec.muls = {1, 2};
+  spec.mems = {1, 1};
+  spec.mul_latency = {2, 2};
+  return spec;
+}
+
+} // namespace
+
+TEST(SchedExplore, BackendAxisEmitsPerBackendFrontiers) {
+  const se::grid_spec spec = small_ewf_grid();
+  se::exploration_options opt;
+  opt.jobs = 2;
+  opt.backends = {"soft", "list"};
+  const se::exploration_result r = se::run_exploration(spec, opt);
+
+  ASSERT_EQ(r.backends, (std::vector<std::string>{"soft", "list"}));
+  const std::size_t grid = se::point_count(spec);
+  ASSERT_EQ(r.points.size(), 2 * grid);
+  ASSERT_EQ(r.frontiers.size(), 2u);
+  EXPECT_EQ(r.frontier, r.frontiers[0]);
+  EXPECT_FALSE(r.frontiers[0].empty());
+  EXPECT_FALSE(r.frontiers[1].empty());
+  // Backend-major blocks: grid order repeats per backend, frontier indices
+  // stay inside their backend's block.
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    EXPECT_EQ(r.points[i].backend, i < grid ? "soft" : "list");
+    EXPECT_EQ(r.points[i].point.index, static_cast<int>(i % grid));
+  }
+  for (const int i : r.frontiers[0]) EXPECT_LT(static_cast<std::size_t>(i), grid);
+  for (const int i : r.frontiers[1]) {
+    EXPECT_GE(static_cast<std::size_t>(i), grid);
+    EXPECT_LT(static_cast<std::size_t>(i), 2 * grid);
+  }
+}
+
+TEST(SchedExplore, BackendAxisDeterministicAcrossWorkerCounts) {
+  const se::grid_spec spec = small_ewf_grid();
+  se::exploration_options one;
+  one.jobs = 1;
+  one.backends = {"soft", "list", "fds"};
+  se::exploration_options eight = one;
+  eight.jobs = 8;
+  const se::exploration_result a = se::run_exploration(spec, one);
+  const se::exploration_result b = se::run_exploration(spec, eight);
+  EXPECT_TRUE(a.same_outcome(b));
+}
+
+TEST(SchedExplore, DefaultOptionsStaySoftOnly) {
+  const se::grid_spec spec = small_ewf_grid();
+  const se::exploration_result r = se::run_exploration(spec, {.jobs = 2});
+  EXPECT_EQ(r.backends, std::vector<std::string>{"soft"});
+  ASSERT_EQ(r.frontiers.size(), 1u);
+  EXPECT_EQ(r.frontier, r.frontiers[0]);
+  for (const se::point_result& p : r.points) EXPECT_EQ(p.backend, "soft");
+}
+
+TEST(SchedExplore, UnknownBackendThrowsBeforeAnyPointRuns) {
+  se::exploration_options opt;
+  opt.backends = {"soft", "annealer"};
+  EXPECT_THROW((void)se::run_exploration(small_ewf_grid(), opt), precondition_error);
+}
+
+TEST(SchedExplore, DuplicateBackendThrows) {
+  // A repeated name would double the grid and emit a report whose
+  // "frontiers" object carries the same key twice - invalid JSON by the
+  // repo's own strict-parser contract.
+  se::exploration_options opt;
+  opt.backends = {"soft", "list", "soft"};
+  EXPECT_THROW((void)se::run_exploration(small_ewf_grid(), opt), precondition_error);
+}

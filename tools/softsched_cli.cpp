@@ -1,14 +1,16 @@
 // softsched_cli - command-line driver for the whole flow: load a design
 // (built-in benchmark, .dfg file, or behavioral .beh source), schedule it
-// (threaded soft scheduler with a chosen meta order, or the list / FDS
-// baselines), optionally apply refinements, and print tables / Gantt
-// charts / DOT.
+// with any registered scheduler backend (soft = the threaded kernel with a
+// chosen meta order, list, fds - see src/sched/backend.h), optionally
+// apply refinements, and print tables / Gantt charts / DOT.
 //
 // Examples:
 //   softsched_cli --bench ewf --alus 2 --muls 2 --gantt
-//   softsched_cli --beh design.beh --scheduler list
+//   softsched_cli --beh design.beh --backend list
 //   softsched_cli --bench hal --meta dfs --spill m1 --stats --dot state.dot
-//   softsched_cli --dfg design.dfg --scheduler fds --latency 20
+//   softsched_cli --dfg design.dfg --backend fds --latency 20
+//   softsched_cli --compare --bench ewf --alus 2 --muls 2
+//   softsched_cli --explore --bench ewf --backend all --jobs 8
 //   softsched_cli --serve-batch requests.jsonl --out responses.jsonl --jobs 8
 #include <cstdlib>
 #include <fstream>
@@ -24,19 +26,20 @@
 #include "explore/dse.h"
 #include "graph/distances.h"
 #include "hard/extract.h"
-#include "hard/force_directed.h"
-#include "hard/list_scheduler.h"
+#include "hard/schedule.h"
 #include "ir/benchmarks.h"
 #include "ir/dfg_io.h"
 #include "lang/parser.h"
 #include "meta/meta_schedule.h"
 #include "refine/refinement.h"
 #include "regalloc/left_edge.h"
+#include "sched/backend.h"
 #include "serve/engine.h"
 #include "regalloc/lifetime.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/table.h"
 
 namespace si = softsched::ir;
 namespace sc = softsched::core;
@@ -46,6 +49,7 @@ namespace sh = softsched::hard;
 namespace sm = softsched::meta;
 namespace sl = softsched::lang;
 namespace sf = softsched::refine;
+namespace ss = softsched::sched;
 namespace sv = softsched::serve;
 using sg::vertex_id;
 
@@ -56,6 +60,8 @@ struct options {
   std::string dfg_file;
   std::string beh_file;
   std::string scheduler = "threaded";
+  std::string backend;   // registry name, "all", or comma list; wins over --scheduler
+  bool compare = false;  // run every registered backend, print the comparison table
   std::string meta = "list";
   std::uint64_t seed = 1;
   long long latency = -1; // fds target; -1 = critical path + 2
@@ -91,8 +97,10 @@ struct options {
       << "  --dfg <file>                                    DFG text format\n"
       << "  --beh <file>                                    behavioral source\n"
       << "scheduling:\n"
-      << "  --scheduler <threaded|list|fds>                 default: threaded\n"
-      << "  --meta <dfs|topo|path|list|random>              threaded feed order\n"
+      << "  --backend <soft|list|fds|all>                   scheduler backend (soft)\n"
+      << "  --compare                                       all backends, one table\n"
+      << "  --scheduler <threaded|list|fds>                 legacy alias of --backend\n"
+      << "  --meta <dfs|topo|path|list|random>              soft-backend feed order\n"
       << "  --seed <n>                                      random meta seed\n"
       << "  --latency <n>                                   FDS latency budget\n"
       << "  --alus/--muls/--mems <n>                        resources (2/2/1)\n"
@@ -101,6 +109,7 @@ struct options {
       << "  --wire <from>:<to>:<delay>                      insert wire delay\n"
       << "design-space exploration (needs --bench; 'random<N>' = random DFG):\n"
       << "  --explore                                       sweep a resource grid\n"
+      << "  --backend <name>[,<name>...]|all                per-backend frontiers\n"
       << "  --jobs <n>                                      workers (0 = hardware)\n"
       << "  --alus-range/--muls-range/--mems-range <lo:hi>  grid axes (1:4/1:3/1:1)\n"
       << "  --mul-lat-range <lo:hi>                         mul latency axis (2:2)\n"
@@ -128,6 +137,8 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--dfg") opt.dfg_file = need(i);
     else if (arg == "--beh") opt.beh_file = need(i);
     else if (arg == "--scheduler") opt.scheduler = need(i);
+    else if (arg == "--backend") opt.backend = need(i);
+    else if (arg == "--compare") opt.compare = true;
     else if (arg == "--meta") opt.meta = need(i);
     else if (arg == "--seed") opt.seed = std::strtoull(need(i).c_str(), nullptr, 10);
     else if (arg == "--latency") opt.latency = std::strtoll(need(i).c_str(), nullptr, 10);
@@ -191,6 +202,90 @@ sm::meta_kind parse_meta(const std::string& name) {
   throw softsched::precondition_error("unknown meta schedule '" + name + "'");
 }
 
+// --backend wins when both are given; the legacy --scheduler spelling maps
+// threaded -> soft and otherwise passes through to the registry lookup.
+std::string effective_backend(const options& opt) {
+  if (!opt.backend.empty()) return opt.backend;
+  return opt.scheduler == "threaded" ? "soft" : opt.scheduler;
+}
+
+// "all", one registry name, or a comma list; every name is resolved before
+// anything runs so a typo fails fast.
+std::vector<std::string> parse_backend_list(const std::string& spec) {
+  if (spec.empty()) return {"soft"};
+  if (spec == "all") return ss::backend_names();
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  for (;;) {
+    const auto comma = spec.find(',', pos);
+    const std::string name =
+        comma == std::string::npos ? spec.substr(pos) : spec.substr(pos, comma - pos);
+    (void)ss::get_backend(name);
+    names.push_back(name);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return names;
+}
+
+// The deterministic meta order the backends run under; `random` is a CLI
+// affordance of the interactive soft path only.
+sm::meta_kind backend_meta(const options& opt) {
+  const sm::meta_kind kind = parse_meta(opt.meta);
+  SOFTSCHED_EXPECT(kind != sm::meta_kind::random,
+                   "--backend/--compare runs need a deterministic --meta");
+  return kind;
+}
+
+// --compare / --backend all: run every registered backend on the design and
+// print the soft-vs-list-vs-fds table (the paper's Figure 1/3 comparison,
+// on any design and allocation). Every schedule is validated against the
+// shared precedence + resource checker, and every backend is run twice so
+// nondeterminism shows up here rather than in a cache. Returns nonzero if
+// any feasible schedule fails validation.
+int run_compare(const options& opt, const si::resource_library& lib,
+                const si::dfg& design, const si::resource_set& resources) {
+  ss::backend_options bopt;
+  bopt.meta = backend_meta(opt);
+  bopt.fds_latency = opt.latency;
+
+  std::cout << "backend comparison: " << design.name() << ", " << design.op_count()
+            << " ops, resources " << resources.label() << "\n";
+  softsched::table t;
+  t.set_header({"backend", "feasible", "latency", "vs soft", "bound units", "legal"});
+  long long soft_latency = -1;
+  bool all_legal = true;
+  for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+    const ss::backend_outcome outcome = backend->run(design, lib, resources, bopt);
+    const ss::backend_outcome repeat = backend->run(design, lib, resources, bopt);
+    SOFTSCHED_EXPECT(outcome.same_outcome(repeat),
+                     std::string("backend '") + std::string(backend->name()) +
+                         "' is nondeterministic across repeat runs");
+    if (backend->name() == "soft" && outcome.feasible) soft_latency = outcome.latency;
+
+    std::string legal = "-";
+    if (outcome.feasible) {
+      const auto violations =
+          sh::validate_schedule(design, ss::to_hard_schedule(outcome), &resources);
+      legal = violations.empty() ? "yes" : "NO: " + violations.front();
+      all_legal = all_legal && violations.empty();
+    }
+    int bound = 0;
+    for (const int u : outcome.unit_of) bound += u >= 0 ? 1 : 0;
+    std::string vs_soft = "-";
+    if (outcome.feasible && soft_latency >= 0) {
+      vs_soft = softsched::cell(outcome.latency - soft_latency);
+      if (outcome.latency >= soft_latency) vs_soft.insert(vs_soft.begin(), '+');
+    }
+    t.add_row({std::string(backend->name()),
+               outcome.feasible ? "yes" : "no: " + outcome.infeasible_reason,
+               outcome.feasible ? softsched::cell(outcome.latency) + " states" : "-",
+               vs_soft, softsched::cell(bound), legal});
+  }
+  t.print(std::cout);
+  return all_legal ? 0 : 1;
+}
+
 // Strict non-negative integer parse: the whole token must be digits and in
 // range, so a typo like "x:4" or an overflowing "99999999999" is rejected
 // rather than silently becoming a wrong bound.
@@ -243,24 +338,28 @@ int run_explore(const options& opt) {
 
   se::exploration_options eopt;
   eopt.jobs = opt.jobs;
-  eopt.meta = parse_meta(opt.meta);
+  eopt.meta = backend_meta(opt);
+  eopt.backends = parse_backend_list(opt.backend);
 
   const se::exploration_result result = se::run_exploration(spec, eopt);
   std::cout << "design-space exploration: " << spec.design.name() << ", "
             << result.points.size() << " points (alus " << spec.alus.lo << ":"
             << spec.alus.hi << " x muls " << spec.muls.lo << ":" << spec.muls.hi
             << " x mems " << spec.mems.lo << ":" << spec.mems.hi << " x mul_lat "
-            << spec.mul_latency.lo << ":" << spec.mul_latency.hi << "), "
-            << result.jobs << " jobs\n";
+            << spec.mul_latency.lo << ":" << spec.mul_latency.hi << " x "
+            << result.backends.size() << " backends), " << result.jobs << " jobs\n";
   std::cout << "  feasible " << result.feasible_count() << "/" << result.points.size()
             << ", " << result.wall_ms << " ms, " << result.points_per_sec()
             << " points/sec\n";
-  std::cout << "pareto frontier (area / latency / allocation / mul latency):\n";
-  for (const int i : result.frontier) {
-    const se::point_result& p = result.points[static_cast<std::size_t>(i)];
-    std::cout << "  area " << p.area << "  latency " << p.latency << " states  "
-              << p.point.resources.label() << "  mul_lat " << p.point.mul_latency
-              << "\n";
+  for (std::size_t b = 0; b < result.frontiers.size(); ++b) {
+    std::cout << "pareto frontier [" << result.backends[b]
+              << "] (area / latency / allocation / mul latency):\n";
+    for (const int i : result.frontiers[b]) {
+      const se::point_result& p = result.points[static_cast<std::size_t>(i)];
+      std::cout << "  area " << p.area << "  latency " << p.latency << " states  "
+                << p.point.resources.label() << "  mul_lat " << p.point.mul_latency
+                << "\n";
+    }
   }
 
   if (!opt.explore_out.empty()) {
@@ -333,10 +432,21 @@ int run(const options& opt) {
             << sg::compute_distances(design.graph()).diameter << ", resources "
             << resources.label() << "\n";
 
+  if (opt.compare || opt.backend == "all") {
+    // Comparison mode produces the table and nothing else; flags whose
+    // output a pipeline might wait for must not be dropped silently.
+    if (opt.gantt || opt.stats || opt.registers || !opt.dot_file.empty() ||
+        !opt.spills.empty() || !opt.wires.empty())
+      std::cerr << "note: --gantt/--stats/--registers/--dot/--spill/--wire are "
+                   "ignored in comparison mode (pick one --backend to use them)\n";
+    return run_compare(opt, lib, design, resources);
+  }
+
   sh::schedule result;
   std::optional<sc::threaded_graph> state;
+  const std::string backend_name = effective_backend(opt);
 
-  if (opt.scheduler == "threaded") {
+  if (backend_name == "soft") {
     state.emplace(sc::make_hls_state(design, resources));
     const sm::meta_kind kind = parse_meta(opt.meta);
     if (kind == sm::meta_kind::random) {
@@ -365,27 +475,32 @@ int run(const options& opt) {
                 << report.diameter_after << " states\n";
     }
     result = sh::extract_schedule(*state);
-    std::cout << "threaded schedule (" << opt.meta << " meta): " << result.makespan
+    std::cout << "soft schedule (" << opt.meta << " meta): " << result.makespan
               << " states\n";
-  } else if (opt.scheduler == "list") {
-    result = sh::list_schedule(design, resources);
-    std::cout << "list schedule: " << result.makespan << " states\n";
-  } else if (opt.scheduler == "fds") {
-    const long long latency =
-        opt.latency > 0 ? opt.latency
-                        : sg::compute_distances(design.graph()).diameter + 2;
-    const sh::fds_result fds = sh::force_directed_schedule(design, latency);
-    result = fds.sched;
-    std::cout << "force-directed schedule @ latency " << latency << ": makespan "
-              << result.makespan << ", peaks: alu "
-              << fds.peak[static_cast<int>(si::resource_class::alu)] << ", mul "
-              << fds.peak[static_cast<int>(si::resource_class::multiplier)] << "\n";
   } else {
-    throw softsched::precondition_error("unknown scheduler '" + opt.scheduler + "'");
+    // Hard backends (list, fds, anything registered later) run through the
+    // registry; the soft path above stays special because it keeps the live
+    // threaded state around for refinements / --stats / --dot.
+    const ss::scheduler_backend& backend = ss::get_backend(backend_name);
+    ss::backend_options bopt;
+    // Backends that ignore the feed order must keep ignoring --meta (the
+    // legacy `--scheduler list --meta random` spelling stays valid).
+    if (backend.caps().uses_meta) bopt.meta = backend_meta(opt);
+    bopt.fds_latency = opt.latency;
+    const ss::backend_outcome outcome = backend.run(design, lib, resources, bopt);
+    if (!outcome.feasible) {
+      std::cerr << "infeasible: " << outcome.infeasible_reason << '\n';
+      return 1;
+    }
+    result = ss::to_hard_schedule(outcome);
+    std::cout << backend_name << " schedule: " << result.makespan << " states\n";
   }
 
-  const auto violations = sh::validate_schedule(
-      design, result, opt.scheduler == "fds" ? nullptr : &resources);
+  // Every backend's output goes through the shared checker; the registry's
+  // fds backend searches for a budget whose schedule fits the allocation,
+  // so unlike the pre-registry --scheduler fds path the resource check
+  // applies to it too.
+  const auto violations = sh::validate_schedule(design, result, &resources);
   if (!violations.empty()) {
     std::cerr << "INVALID schedule: " << violations.front() << '\n';
     return 1;
