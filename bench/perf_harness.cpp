@@ -35,6 +35,7 @@
 #include "core/hls_binding.h"
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
+#include "load_scenario.h"
 #include "serve_scenario.h"
 #include "graph/generators.h"
 #include "ir/benchmarks.h"
@@ -439,6 +440,13 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: batch scheduling service...\n";
   j.key("serve");
   ok = softsched::bench::write_serve_scenario(j, seed) && ok;
+
+  // Open-loop overload replay against the resident service (see
+  // load_scenario.h): sustainable-rate calibration, then 2x replay with a
+  // self-gating SLO block. Fixed mix in quick and full mode.
+  std::cerr << "perf_harness: resident service overload replay...\n";
+  j.key("load");
+  ok = softsched::bench::write_load_scenario(j, seed) && ok;
 
   // Fixed benchmark suite under every registered scheduler backend (see
   // backend_scenario.h): the head-to-head numbers the paper's comparison

@@ -16,8 +16,16 @@ $GITHUB_STEP_SUMMARY); exits 1 on validation failure or regression.
 import json
 import sys
 
-# Metric -> (extractor, higher_is_better). Tolerance is uniformly 2x.
+# Higher-is-better metrics gate uniformly at 2x. Lower-is-better metrics
+# (latency tails, drop rates) carry their own tolerance plus an absolute
+# floor: tiny baselines would otherwise turn scheduler-jitter noise into a
+# "4x regression", so the gate compares against max(baseline, floor).
 TOLERANCE = 2.0
+LOWER_IS_BETTER = {
+    # name: (tolerance, floor)
+    "load.p99_ms": (4.0, 1.0),
+    "load.drop_rate": (2.0, 0.1),
+}
 
 
 def metrics(doc):
@@ -39,6 +47,9 @@ def metrics(doc):
         "backend.fds_points_per_sec": s["backend"]["per_backend"]["fds"][
             "points_per_sec"
         ],
+        "load.p99_ms": s["load"]["p99_ms"],
+        "load.drop_rate": s["load"]["drop_rate"],
+        "load.goodput_rps": s["load"]["goodput_rps"],
     }
 
 
@@ -88,6 +99,32 @@ def validate(doc, label):
                 f"{label}: serve: hot cache only "
                 f"{serve['speedup_hot_over_cold']:.2f}x faster than cold (< 5x)"
             )
+    load = s.get("load")
+    if not load:
+        errors.append(f"{label}: missing scenario load")
+    else:
+        for key in (
+            "p99_ms",
+            "drop_rate",
+            "goodput_rps",
+            "peak_queue_depth",
+            "queue_capacity",
+            "slo",
+        ):
+            if key not in load:
+                errors.append(f"{label}: load: missing {key}")
+        if "drop_rate" in load and not 0 <= load["drop_rate"] <= 1:
+            errors.append(f"{label}: load: drop_rate outside [0, 1]")
+        if load.get("goodput_rps", 0) <= 0:
+            errors.append(f"{label}: load: no goodput under overload")
+        if load.get("peak_queue_depth", 0) > load.get("queue_capacity", 0):
+            errors.append(
+                f"{label}: load: queue depth {load.get('peak_queue_depth')} "
+                f"exceeded capacity {load.get('queue_capacity')} - admission "
+                "control is not bounding the queue"
+            )
+        if isinstance(load.get("slo"), dict) and not load["slo"].get("pass"):
+            errors.append(f"{label}: load: scenario's own SLO gate failed")
     backend = s.get("backend")
     if not backend:
         errors.append(f"{label}: missing scenario backend")
@@ -145,7 +182,17 @@ def main():
     for name in sorted(base_metrics):
         base, now = base_metrics[name], fresh_metrics[name]
         ratio = now / base if base > 0 else float("inf")
-        if name in gated and now < base / TOLERANCE:
+        if name in LOWER_IS_BETTER:
+            tolerance, floor = LOWER_IS_BETTER[name]
+            if now > max(base, floor) * tolerance:
+                status = "FAIL"
+                errors.append(
+                    f"{name} regressed more than {tolerance}x "
+                    f"(floor {floor:g}): {base:.3g} -> {now:.3g}"
+                )
+            else:
+                status = "ok"
+        elif name in gated and now < base / TOLERANCE:
             status = "FAIL"
             errors.append(
                 f"{name} regressed more than {TOLERANCE}x: {base:.3g} -> {now:.3g}"
@@ -173,6 +220,15 @@ def main():
         f"{backend['constraint']} across {len(backend['per_backend'])} backends "
         f"({', '.join(backend['per_backend'])}), "
         f"deterministic={backend['deterministic']}"
+    )
+    load = fresh["scenarios"]["load"]
+    print(
+        f"\nload: {load['replay_requests']} requests at "
+        f"{load['overload_factor']:.0f}x sustainable on {load['jobs']} jobs, "
+        f"p99 {load['p99_ms']:.2f} ms, drop rate {load['drop_rate']:.3f}, "
+        f"goodput {load['goodput_rps']:.0f} rps, peak queue "
+        f"{load['peak_queue_depth']}/{load['queue_capacity']}, "
+        f"slo_pass={load['slo']['pass']}"
     )
 
     if errors:

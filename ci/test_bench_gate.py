@@ -43,6 +43,19 @@ def minimal_doc():
                 "speedup_hot_over_cold": 50.0,
                 "hit_rate": 0.925,
             },
+            "load": {
+                "jobs": 4,
+                "queue_capacity": 64,
+                "replay_requests": 1500,
+                "overload_factor": 2.0,
+                "sustainable_rps": 100000.0,
+                "target_rps": 200000.0,
+                "p99_ms": 0.5,
+                "drop_rate": 0.45,
+                "goodput_rps": 90000.0,
+                "peak_queue_depth": 64,
+                "slo": {"pass": True},
+            },
             "backend": {
                 "constraint": "2+/-,2*",
                 "designs": ["hal", "arf", "ewf", "fir8"],
@@ -175,6 +188,82 @@ def test_illegal_backend_schedule_fails(tmp_path):
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 1
     assert "illegal schedule" in result.stdout
+
+
+def test_missing_load_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["load"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "load" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_load_drop_rate_out_of_range_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["drop_rate"] = 1.2
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "drop_rate outside" in result.stdout
+
+
+def test_load_queue_depth_over_capacity_fails(tmp_path):
+    # peak depth > capacity means admission control stopped bounding the
+    # queue - exactly the failure the daemon exists to prevent.
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["peak_queue_depth"] = 65
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "exceeded capacity" in result.stdout
+
+
+def test_load_slo_failure_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["slo"]["pass"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "SLO gate failed" in result.stdout
+
+
+def test_load_p99_within_floored_tolerance_passes(tmp_path):
+    # Baseline p99 is below the 1 ms floor, so the gate allows anything up
+    # to floor * tolerance = 4 ms - machine jitter on sub-ms tails is noise.
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["p99_ms"] = 3.9
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_load_p99_regression_beyond_tolerance_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["p99_ms"] = 4.1  # > max(0.5, 1.0) * 4
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "load.p99_ms" in result.stdout
+    assert "regressed" in result.stdout
+
+
+def test_load_p99_improvement_passes(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["p99_ms"] = 0.01
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_load_drop_rate_regression_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["drop_rate"] = 0.95  # > max(0.45, 0.1) * 2
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "load.drop_rate" in result.stdout
+
+
+def test_load_goodput_is_informational(tmp_path):
+    # Goodput is machine-dependent; a big drop is reported, not fatal.
+    fresh = minimal_doc()
+    fresh["scenarios"]["load"]["goodput_rps"] = 9000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
 
 
 def test_ungated_backend_throughput_may_regress(tmp_path):

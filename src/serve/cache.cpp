@@ -23,9 +23,13 @@ schedule_cache::schedule_cache(std::size_t byte_budget, unsigned shard_count) {
   shard_budget_ = byte_budget / shard_count;
 }
 
-schedule_cache::shard& schedule_cache::shard_of(const ir::dfg_digest& key) {
+unsigned schedule_cache::shard_index(const ir::dfg_digest& key) const noexcept {
   const std::uint64_t spread = key.hi ^ (key.hi >> 32) ^ (key.lo << 1);
-  return *shards_[static_cast<std::size_t>(spread % shards_.size())];
+  return static_cast<unsigned>(spread % shards_.size());
+}
+
+schedule_cache::shard& schedule_cache::shard_of(const ir::dfg_digest& key) {
+  return *shards_[shard_index(key)];
 }
 
 schedule_cache::result_ptr schedule_cache::lookup(const ir::dfg_digest& key) {

@@ -95,6 +95,12 @@ public:
   void clear();
 
   [[nodiscard]] cache_counters counters() const;
+
+  /// Which shard a key maps to (stable for the cache's lifetime). Exposed
+  /// so shard-targeted fault injection (serve/daemon.h) and tests can
+  /// predict which shard a given request touches.
+  [[nodiscard]] unsigned shard_index(const ir::dfg_digest& key) const noexcept;
+
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }

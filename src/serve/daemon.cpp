@@ -1,0 +1,529 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace softsched::serve {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double millis_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+}
+
+void sleep_ms(double ms) {
+  if (ms > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Same bounds as the engine's source memo (engine.h): the memo is a
+/// recognition shortcut, not the capacity story.
+constexpr std::size_t memo_entry_limit = 1 << 16;
+
+unsigned parse_fault_index(std::string_view text, std::string_view rule) {
+  bool ok = !text.empty() && text.size() <= 6;
+  unsigned value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  SOFTSCHED_EXPECT(ok, "fault spec: bad target index in rule '" + std::string(rule) + "'");
+  return value;
+}
+
+double parse_fault_delay(std::string_view text, std::string_view rule) {
+  bool ok = !text.empty();
+  double value = 0;
+  if (ok) {
+    try {
+      std::size_t used = 0;
+      value = std::stod(std::string(text), &used);
+      ok = used == text.size() && value >= 0;
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  SOFTSCHED_EXPECT(ok, "fault spec: bad delay_ms in rule '" + std::string(rule) + "'");
+  return value;
+}
+
+} // namespace
+
+fault_plan fault_plan::parse(std::string_view spec) {
+  fault_plan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? spec.size() : comma;
+    const std::string_view rule = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (rule.empty()) continue;
+
+    std::vector<std::string_view> segments;
+    std::size_t seg = 0;
+    while (seg <= rule.size()) {
+      const std::size_t colon = rule.find(':', seg);
+      const std::size_t seg_end = colon == std::string_view::npos ? rule.size() : colon;
+      segments.push_back(rule.substr(seg, seg_end - seg));
+      seg = seg_end + 1;
+    }
+    SOFTSCHED_EXPECT(segments.size() >= 2,
+                     "fault spec: rule '" + std::string(rule) +
+                         "' needs <target>:<action> (e.g. slot=0:delay_ms=5)");
+
+    const std::string_view target = segments[0];
+    fault_action action;
+    for (std::size_t a = 1; a < segments.size(); ++a) {
+      const std::string_view part = segments[a];
+      if (part == "fail") {
+        action.fail = true;
+      } else if (part.substr(0, 9) == "delay_ms=") {
+        action.delay_ms = parse_fault_delay(part.substr(9), rule);
+      } else {
+        SOFTSCHED_EXPECT(false, "fault spec: unknown action '" + std::string(part) +
+                                    "' in rule '" + std::string(rule) + "'");
+      }
+    }
+    if (target.substr(0, 5) == "slot=") {
+      plan.slots[parse_fault_index(target.substr(5), rule)] = action;
+    } else if (target.substr(0, 6) == "shard=") {
+      plan.shards[parse_fault_index(target.substr(6), rule)] = action;
+    } else {
+      SOFTSCHED_EXPECT(false, "fault spec: unknown target '" + std::string(target) +
+                                  "' (expected slot=<n> or shard=<n>)");
+    }
+  }
+  return plan;
+}
+
+fault_plan fault_plan::from_env() {
+  const char* spec = std::getenv("SOFTSCHED_INJECT");
+  if (spec == nullptr || *spec == '\0') return {};
+  return parse(spec);
+}
+
+service::service(const service_options& options)
+    : options_(options),
+      jobs_(options.jobs < 1 ? thread_pool::hardware_workers()
+                             : static_cast<unsigned>(options.jobs)),
+      cache_(options.cache_bytes, options.cache_shards),
+      started_at_(clock_type::now()) {
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  pool_ = std::make_unique<thread_pool>(jobs_);
+}
+
+service::~service() {
+  drain();
+  pool_.reset();
+}
+
+bool service::submit(std::uint64_t seq, std::string text, callback done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth = queue_depth_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > options_.queue_capacity) {
+    // Shed, don't queue: the rollback leaves admission state exactly as if
+    // this request never arrived, and the caller answers "overloaded".
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::size_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto admitted_at = clock_type::now();
+  pool_->submit([this, seq, text = std::move(text), done = std::move(done), admitted_at] {
+    process(seq, text, done, admitted_at);
+  });
+  return true;
+}
+
+response service::overloaded_response(std::uint64_t seq) const {
+  response r;
+  r.line = seq;
+  r.id = "line" + std::to_string(seq);
+  r.error = "overloaded";
+  r.retry_after_ms = options_.retry_after_ms;
+  return r;
+}
+
+void service::complete(response r, const callback& done,
+                       clock_type::time_point admitted_at) {
+  latency_.record(millis_since(admitted_at));
+  if (done) done(std::move(r));
+  {
+    // completed_ advances under the drain mutex so drain()'s predicate and
+    // the notify can never miss each other.
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    completed_.fetch_add(1, std::memory_order_release);
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drained_.notify_all();
+}
+
+void service::drain() {
+  const std::uint64_t target = admitted_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock,
+                [&] { return completed_.load(std::memory_order_acquire) >= target; });
+}
+
+source_info service::lookup_source(const request& req) {
+  const std::string sig = req.source_signature();
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = source_memo_.find(sig);
+    if (it != source_memo_.end()) return it->second;
+  }
+  // Hash outside the lock (the expensive part); first publisher wins, a
+  // concurrent duplicate hash of the same source is wasted work, not a bug.
+  source_info info = hash_request_source(req);
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (source_memo_.size() > memo_entry_limit ||
+      source_memo_bytes_ > std::max<std::size_t>(options_.cache_bytes, 8ull << 20)) {
+    source_memo_.clear();
+    source_memo_bytes_ = 0;
+  }
+  const auto [it, inserted] = source_memo_.try_emplace(sig, info);
+  if (inserted)
+    source_memo_bytes_ += sig.size() + info.error.size() +
+                          info.canonical_of.size() * sizeof(std::uint32_t) +
+                          sizeof(source_info) + 64;
+  return info;
+}
+
+void service::process(std::uint64_t seq, const std::string& text, const callback& done,
+                      clock_type::time_point admitted_at) {
+  response r;
+  r.line = seq;
+  r.id = "line" + std::to_string(seq);
+  try {
+    // -- worker-slot injection: a pure function of the sequence number, so
+    //    tests can target "the request that lands on slot 0" regardless of
+    //    which pool thread actually runs it ---------------------------------
+    const unsigned slot = static_cast<unsigned>((seq > 0 ? seq - 1 : 0) % jobs_);
+    const auto slot_rule = options_.faults.slots.find(slot);
+    if (slot_rule != options_.faults.slots.end()) {
+      sleep_ms(slot_rule->second.delay_ms);
+      if (slot_rule->second.fail) {
+        r.error = "injected fault: worker slot " + std::to_string(slot);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        complete(std::move(r), done, admitted_at);
+        return;
+      }
+    }
+
+    // -- parse ---------------------------------------------------------------
+    request req;
+    try {
+      req = parse_request_line(text);
+    } catch (const json_error& e) {
+      r.error = e.what();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      complete(std::move(r), done, admitted_at);
+      return;
+    }
+    if (!req.id.empty()) r.id = req.id;
+    r.backend = req.backend;
+
+    // -- canonical hash (memoized) + cache key -------------------------------
+    const source_info source = lookup_source(req);
+    if (!source.error.empty()) {
+      r.error = source.error;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      complete(std::move(r), done, admitted_at);
+      return;
+    }
+    r.key = schedule_key_for(req, source.digest);
+
+    // -- shard injection: a failed shard is *unavailable*, not fatal - its
+    //    lookups miss and its inserts are dropped, so requests keep being
+    //    served (recomputed), just degraded --------------------------------
+    bool shard_available = true;
+    double shard_delay = 0;
+    if (!options_.faults.shards.empty()) {
+      const auto rule = options_.faults.shards.find(cache_.shard_index(r.key));
+      if (rule != options_.faults.shards.end()) {
+        shard_available = !rule->second.fail;
+        shard_delay = rule->second.delay_ms;
+      }
+    }
+
+    // -- join or lead the in-flight computation ------------------------------
+    std::shared_future<flight_ptr> joined;
+    std::promise<flight_ptr> promise;
+    bool leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(flight_mutex_);
+      const auto it = flights_.find(r.key);
+      if (it != flights_.end()) {
+        joined = it->second;
+      } else {
+        joined = promise.get_future().share();
+        flights_.emplace(r.key, joined);
+        leader = true;
+      }
+    }
+
+    if (!leader) {
+      // A flight exists only while its leader is actively running (it
+      // registers inside its own job), so this wait always terminates. The
+      // result comes straight off the flight - never a cache re-lookup,
+      // which would miss when the value was oversize-rejected.
+      const flight_ptr outcome = joined.get();
+      if (!outcome->error.empty()) {
+        r.error = outcome->error;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        r.result = result_to_source_order(*outcome->result, source.canonical_of);
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      complete(std::move(r), done, admitted_at);
+      return;
+    }
+
+    // -- leader: cache consult, compute on miss, publish ---------------------
+    flight f;
+    bool from_cache = false;
+    double compute_ms = 0;
+    try {
+      sleep_ms(shard_delay);
+      schedule_cache::result_ptr cached;
+      if (shard_available) cached = cache_.lookup(r.key);
+      if (cached != nullptr) {
+        from_cache = true;
+        f.result = std::move(cached);
+      } else {
+        const auto t0 = clock_type::now();
+        f.result = std::make_shared<const schedule_result>(
+            compute_canonical_schedule(req, source.canonical_of));
+        compute_ms = millis_since(t0);
+        if (shard_available) cache_.insert(r.key, f.result);
+      }
+    } catch (const std::exception& e) {
+      f.error = e.what();
+      f.result = nullptr;
+    }
+    const flight_ptr published = std::make_shared<const flight>(std::move(f));
+    {
+      const std::lock_guard<std::mutex> lock(flight_mutex_);
+      flights_.erase(r.key);
+    }
+    promise.set_value(published);
+
+    if (!published->error.empty()) {
+      r.error = published->error;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      r.result = result_to_source_order(*published->result, source.canonical_of);
+      if (from_cache) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        computed_.fetch_add(1, std::memory_order_relaxed);
+        r.ms = compute_ms;
+      }
+    }
+    complete(std::move(r), done, admitted_at);
+  } catch (const std::exception& e) {
+    // Pool jobs must not throw; any unexpected escape becomes an error
+    // response so the request still completes and drain() still terminates.
+    r.error = std::string("serve: internal error: ") + e.what();
+    r.result = {};
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    complete(std::move(r), done, admitted_at);
+  }
+}
+
+service_stats service::stats() const {
+  service_stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.deduped = deduped_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  s.uptime_ms = millis_since(started_at_);
+  s.qps = s.uptime_ms > 0 ? static_cast<double>(s.completed) / (s.uptime_ms / 1e3) : 0;
+  s.p50_ms = latency_.percentile(50);
+  s.p95_ms = latency_.percentile(95);
+  s.p99_ms = latency_.percentile(99);
+  const std::uint64_t served = s.completed - std::min(s.errors, s.completed);
+  s.hit_rate = served > 0
+                   ? static_cast<double>(s.cache_hits + s.deduped) / static_cast<double>(served)
+                   : 0;
+  return s;
+}
+
+namespace {
+
+std::string render_response(const response& r, bool emit_schedule) {
+  std::ostringstream oss;
+  write_response_line(oss, r, emit_schedule);
+  return std::move(oss).str();
+}
+
+std::string render_stats(const service_stats& s) {
+  std::ostringstream oss;
+  json_writer j(oss, /*compact=*/true);
+  j.begin_object();
+  j.member("op", "stats");
+  j.member("uptime_ms", s.uptime_ms);
+  j.member("qps", s.qps);
+  j.member("p50_ms", s.p50_ms);
+  j.member("p95_ms", s.p95_ms);
+  j.member("p99_ms", s.p99_ms);
+  j.member("queue_depth", s.queue_depth);
+  j.member("peak_queue_depth", s.peak_queue_depth);
+  j.member("hit_rate", s.hit_rate);
+  j.member("submitted", s.submitted);
+  j.member("admitted", s.admitted);
+  j.member("overloaded", s.overloaded);
+  j.member("completed", s.completed);
+  j.member("errors", s.errors);
+  j.member("computed", s.computed);
+  j.member("cache_hits", s.cache_hits);
+  j.member("deduped", s.deduped);
+  j.end_object();
+  return std::move(oss).str();
+}
+
+/// Serializes response frames either immediately (streaming) or through a
+/// reorder buffer that releases strictly by sequence number (input-order
+/// mode). Control frames (stats, transport errors, the shutdown ack)
+/// always bypass the reorder buffer - they answer "now", not "in turn".
+struct frame_writer {
+  frame_writer(std::ostream& o, bool order_responses) : out(o), ordered(order_responses) {}
+
+  std::ostream& out;
+  bool ordered;
+  std::mutex mutex;
+  std::uint64_t next_seq = 1;
+  std::map<std::uint64_t, std::string> held;
+  std::uint64_t written = 0;
+
+  void emit(std::uint64_t seq, std::string payload) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!ordered) {
+      write_frame(out, payload);
+      ++written;
+      return;
+    }
+    held.emplace(seq, std::move(payload));
+    while (!held.empty() && held.begin()->first == next_seq) {
+      write_frame(out, held.begin()->second);
+      held.erase(held.begin());
+      ++next_seq;
+      ++written;
+    }
+  }
+
+  void control(std::string_view payload) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    write_frame(out, payload);
+    ++written;
+  }
+};
+
+} // namespace
+
+daemon_summary run_daemon(std::istream& in, std::ostream& out,
+                          const daemon_options& options) {
+  daemon_summary summary;
+  frame_writer writer(out, options.ordered);
+  service svc(options.service);
+  const bool emit_schedule = options.service.emit_schedule;
+  std::uint64_t seq = 0;
+
+  for (;;) {
+    frame_read frame = read_frame(in, options.limits);
+    if (frame.status == frame_status::eof) break;
+    if (frame.status == frame_status::error) {
+      // Framing is unrecoverable - after a malformed frame we no longer
+      // know where the next one starts, so resynchronizing silently would
+      // risk misattributing payloads. Answer once, stop reading, drain.
+      summary.transport_error = true;
+      response r;
+      r.id = "transport";
+      r.error = frame.error;
+      writer.control(render_response(r, emit_schedule));
+      break;
+    }
+    ++summary.frames;
+
+    // Control sniff: requests never carry "op" (the request schema rejects
+    // unknown keys), so an object with a string "op" member is a control
+    // frame. Anything unparseable goes to the service, whose strict parser
+    // owns the error response.
+    std::string op;
+    bool is_control = false;
+    try {
+      const json_value v = parse_json(frame.payload);
+      if (const json_value* member = v.find("op"); member != nullptr && member->is_string()) {
+        is_control = true;
+        op = member->as_string();
+      }
+    } catch (const json_error&) {
+    }
+    if (is_control) {
+      if (op == "stats") {
+        writer.control(render_stats(svc.stats()));
+      } else if (op == "shutdown") {
+        summary.shutdown_requested = true;
+        break; // drain below; the ack is the daemon's final frame
+      } else {
+        response r;
+        r.id = "control";
+        r.error = "unknown op: " + op;
+        writer.control(render_response(r, emit_schedule));
+      }
+      continue;
+    }
+
+    const std::uint64_t this_seq = ++seq;
+    ++summary.requests;
+    const bool admitted =
+        svc.submit(this_seq, std::move(frame.payload), [&writer, emit_schedule](response r) {
+          writer.emit(r.line, render_response(r, emit_schedule));
+        });
+    if (!admitted)
+      writer.emit(this_seq, render_response(svc.overloaded_response(this_seq), emit_schedule));
+  }
+
+  // Graceful drain: every admitted request answers before the daemon
+  // returns, whatever ended the read loop (EOF, shutdown, transport error).
+  svc.drain();
+  if (summary.shutdown_requested) {
+    std::ostringstream oss;
+    json_writer j(oss, /*compact=*/true);
+    j.begin_object();
+    j.member("op", "shutdown");
+    j.member("drained", true);
+    j.end_object();
+    writer.control(std::move(oss).str());
+  }
+  summary.stats = svc.stats();
+  summary.responses = writer.written;
+  return summary;
+}
+
+} // namespace softsched::serve

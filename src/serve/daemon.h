@@ -1,0 +1,224 @@
+// daemon.h - the resident scheduling service behind `softsched_cli --serve`
+// (ROADMAP item 1): the batch engine's pipeline reshaped for a long-lived
+// process where tail latency under overload, not warm-cache throughput, is
+// the headline number.
+//
+// Two layers:
+//
+//   * `service` - the transport-free core. submit() runs admission control
+//     (a bounded queue; at capacity the request is shed immediately with
+//     `"error":"overloaded"` + a retry_after_ms hint instead of queueing
+//     without bound), then hands the request to the worker pool: parse ->
+//     memoized canonical hash -> in-flight dedup (concurrent identical
+//     requests coalesce onto one computation via a shared future - the
+//     follower receives the leader's result directly, so it stays correct
+//     even when the cache rejected the value as oversize) -> sharded
+//     schedule cache -> scheduler backend. Responses stream back through a
+//     per-request callback as they complete; drain() blocks until every
+//     admitted request has responded. Live counters and a lock-light
+//     latency histogram (serve/metrics.h) feed stats().
+//
+//   * `run_daemon` - the framed front-end: reads `<count>\n<payload>\n`
+//     frames (serve/transport.h) from a stream, sniffs control ops
+//     ({"op":"stats"} / {"op":"shutdown"}), submits everything else to the
+//     service, and writes response frames either as they complete
+//     (streaming, the default) or in input order behind a reorder buffer
+//     (--serve-ordered: byte-identical payloads to --serve-batch, the PR-4
+//     determinism contract). EOF, shutdown and transport errors all end in
+//     the same graceful drain: every admitted request gets its response
+//     before the daemon returns.
+//
+// Fault injection: a fault_plan (usually parsed from the SOFTSCHED_INJECT
+// environment knob) deterministically delays or fails chosen *worker
+// slots* (a request's slot is (seq - 1) % jobs - a pure function of the
+// submission sequence, independent of which pool thread actually runs it)
+// and *cache shards* (a failed shard is treated as unavailable: lookups
+// miss, inserts are dropped). This exists only in the serve layer, only to
+// make overload, slow-consumer and mid-drain-shutdown paths deterministic
+// under test; the scheduling math is never perturbed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/transport.h"
+#include "util/thread_pool.h"
+
+namespace softsched::serve {
+
+/// What an injection rule does to its target: delay it, fail it, or both
+/// (delay first, then fail).
+struct fault_action {
+  double delay_ms = 0;
+  bool fail = false;
+};
+
+/// Deterministic fault-injection plan for the serve layer. Spec grammar
+/// (the SOFTSCHED_INJECT value): comma-separated rules, each
+/// `<target>:<action>[:<action>...]` with targets `slot=<n>` / `shard=<n>`
+/// and actions `delay_ms=<float>` / `fail`, e.g.
+///
+///   SOFTSCHED_INJECT="slot=0:delay_ms=5,shard=3:fail"
+///
+/// A failed worker slot turns its requests into `"error":"injected fault:
+/// worker slot <n>"` responses; a failed cache shard is unavailable (its
+/// lookups miss, its inserts are dropped) - degraded, never crashed.
+struct fault_plan {
+  std::unordered_map<unsigned, fault_action> slots;
+  std::unordered_map<unsigned, fault_action> shards;
+
+  [[nodiscard]] bool empty() const noexcept { return slots.empty() && shards.empty(); }
+
+  /// Parses a spec string; throws precondition_error on grammar errors
+  /// (unknown target, unknown action, non-numeric index/delay).
+  [[nodiscard]] static fault_plan parse(std::string_view spec);
+
+  /// parse(getenv("SOFTSCHED_INJECT")); empty plan when unset/empty.
+  [[nodiscard]] static fault_plan from_env();
+};
+
+struct service_options {
+  int jobs = 0;                          ///< worker threads; < 1 = hardware_workers()
+  std::size_t cache_bytes = 64ull << 20; ///< schedule-cache byte budget
+  unsigned cache_shards = 16;
+  std::size_t queue_capacity = 256; ///< admitted-but-unfinished bound (>= 1)
+  bool emit_schedule = true;        ///< include start/unit arrays in responses
+  double retry_after_ms = 10;       ///< backpressure hint on shed requests
+  fault_plan faults;                ///< empty = no injection
+};
+
+/// The resident scheduling service: bounded-queue admission, streaming
+/// completion callbacks, graceful drain. Thread-safe: submit() may be
+/// called from any number of client threads.
+class service {
+public:
+  /// Completion callback: fires exactly once per admitted request, on a
+  /// worker thread, when its response is ready. Must not throw.
+  using callback = std::function<void(response)>;
+
+  explicit service(const service_options& options = {});
+
+  /// Drains admitted work, then joins the workers.
+  ~service();
+
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  /// Submits one raw JSONL request line under sequence number `seq`
+  /// (1-based; becomes the response's line number, and picks the worker
+  /// slot for fault injection). Returns true when admitted - `done` will
+  /// fire exactly once. Returns false when the queue is at capacity: the
+  /// request was shed, `done` never fires, and the caller should answer
+  /// with overloaded_response(seq).
+  [[nodiscard]] bool submit(std::uint64_t seq, std::string text, callback done);
+
+  /// The shed-request response: `"error":"overloaded"` with the
+  /// configured retry_after_ms hint.
+  [[nodiscard]] response overloaded_response(std::uint64_t seq) const;
+
+  /// Blocks until every admitted request has completed (its callback
+  /// returned). Safe to call concurrently with submit(): requests admitted
+  /// after drain() begins are *not* waited for.
+  void drain();
+
+  /// One snapshot of the live counters (the {"op":"stats"} payload).
+  [[nodiscard]] service_stats stats() const;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const service_options& options() const noexcept { return options_; }
+  [[nodiscard]] schedule_cache& cache() noexcept { return cache_; }
+
+private:
+  /// In-flight dedup rendezvous: the leader publishes its canonical-space
+  /// outcome here; followers that arrived while it was computing read the
+  /// result straight from the future (never from a cache re-lookup, which
+  /// would return null for oversize-rejected values).
+  struct flight {
+    std::string error; ///< set by the leader iff the computation failed
+    schedule_cache::result_ptr result;
+  };
+  using flight_ptr = std::shared_ptr<const flight>;
+
+  void process(std::uint64_t seq, const std::string& text, const callback& done,
+               std::chrono::steady_clock::time_point admitted_at);
+  void complete(response r, const callback& done,
+                std::chrono::steady_clock::time_point admitted_at);
+  [[nodiscard]] source_info lookup_source(const request& req);
+
+  service_options options_;
+  unsigned jobs_ = 1;
+  schedule_cache cache_;
+  std::unique_ptr<thread_pool> pool_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  // Admission + drain bookkeeping. queue_depth_ = admitted - completed;
+  // admission is one fetch_add with a rollback, so shedding never takes a
+  // lock. peak_queue_depth_ witnesses boundedness for the load harness.
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> deduped_{0};
+  latency_histogram latency_;
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drained_;
+
+  // Source-signature -> source_info memo (the engine's memo, made
+  // thread-safe): each distinct design is hashed once. Same bounds as the
+  // engine: entry count and bytes, wiped when either trips.
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, source_info> source_memo_;
+  std::size_t source_memo_bytes_ = 0;
+
+  // Key -> in-flight computation. The leader inserts a promise before
+  // touching the cache and erases it after publishing, so any follower
+  // either joins the flight or does its own (possibly cached) lookup.
+  std::mutex flight_mutex_;
+  std::unordered_map<ir::dfg_digest, std::shared_future<flight_ptr>,
+                     ir::dfg_digest_hash>
+      flights_;
+};
+
+struct daemon_options {
+  service_options service;
+  bool ordered = false; ///< input-order responses (PR-4 determinism contract)
+                        ///< instead of streaming-as-completed
+  frame_limits limits;
+};
+
+/// Per-run accounting of one daemon session.
+struct daemon_summary {
+  std::uint64_t frames = 0;        ///< well-formed frames read (incl. control)
+  std::uint64_t requests = 0;      ///< frames submitted to the service
+  std::uint64_t responses = 0;     ///< response frames written (incl. shed)
+  bool shutdown_requested = false; ///< ended by {"op":"shutdown"}
+  bool transport_error = false;    ///< ended by a malformed frame
+  service_stats stats;             ///< final service counters
+};
+
+/// Runs the resident daemon over framed streams until EOF, a shutdown op,
+/// or a transport error - always draining admitted work before returning.
+/// Wire protocol: docs/SERVING.md §"Resident daemon".
+daemon_summary run_daemon(std::istream& in, std::ostream& out,
+                          const daemon_options& options = {});
+
+} // namespace softsched::serve

@@ -20,6 +20,8 @@ double millis_since(clock_type::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
 }
 
+} // namespace
+
 /// Runs the request's scheduler backend, share-nothing (private library,
 /// DFG and whatever state the backend builds - the same isolation argument
 /// as explore::run_point, so outcomes are identical for any worker count;
@@ -36,8 +38,8 @@ double millis_since(clock_type::time_point t0) {
 /// serving request B a result computed from an isomorphic-but-renumbered
 /// request A would both misalign the arrays and break cache-size
 /// independence.
-schedule_result compute_schedule(const request& req,
-                                 const std::vector<std::uint32_t>& canonical_of) {
+schedule_result compute_canonical_schedule(const request& req,
+                                           const std::vector<std::uint32_t>& canonical_of) {
   schedule_result r;
   ir::resource_library library;
   library.set_latency(ir::op_kind::mul, req.mul_latency);
@@ -60,9 +62,8 @@ schedule_result compute_schedule(const request& req,
   return r;
 }
 
-/// Canonical-indexed result -> the requester's own vertex numbering.
-schedule_result to_source_order(const schedule_result& canonical,
-                                const std::vector<std::uint32_t>& canonical_of) {
+schedule_result result_to_source_order(const schedule_result& canonical,
+                                       const std::vector<std::uint32_t>& canonical_of) {
   schedule_result r = canonical; // scalars + stats; arrays rewritten below
   for (std::size_t src = 0; src < canonical_of.size(); ++src) {
     if (src < r.start_times.size())
@@ -72,12 +73,33 @@ schedule_result to_source_order(const schedule_result& canonical,
   return r;
 }
 
-} // namespace
+source_info hash_request_source(const request& req) {
+  source_info info;
+  try {
+    ir::resource_library library;
+    library.set_latency(ir::op_kind::mul, req.mul_latency);
+    const ir::dfg design = build_request_design(req, library);
+    const std::vector<graph::vertex_id> order = ir::canonical_topo_order(design);
+    info.digest = ir::canonical_dfg_digest(design, order);
+    info.canonical_of.resize(order.size());
+    for (std::size_t ci = 0; ci < order.size(); ++ci)
+      info.canonical_of[order[ci].value()] = static_cast<std::uint32_t>(ci);
+  } catch (const std::exception& e) {
+    info.error = e.what();
+  }
+  return info;
+}
+
+ir::dfg_digest schedule_key_for(const request& req, const ir::dfg_digest& digest) {
+  return ir::schedule_key(
+      digest, req.resources,
+      sched::backend_option_salt(sched::get_backend(req.backend), req.meta));
+}
 
 bool response::same_payload(const response& other) const {
   return line == other.line && id == other.id && error == other.error &&
-         backend == other.backend && key == other.key &&
-         result.same_schedule(other.result);
+         retry_after_ms == other.retry_after_ms && backend == other.backend &&
+         key == other.key && result.same_schedule(other.result);
 }
 
 engine_counters engine_counters::operator-(const engine_counters& rhs) const noexcept {
@@ -172,20 +194,7 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
 
   // -- hash new sources (parallel; pure per-job work into its own slot) ---
   parallel_for_index(pool_.get(), to_hash.size(), [&](std::size_t k) {
-    const request& rq = reqs[to_hash[k].rep];
-    try {
-      ir::resource_library library;
-      library.set_latency(ir::op_kind::mul, rq.mul_latency);
-      const ir::dfg design = build_request_design(rq, library);
-      const std::vector<graph::vertex_id> order = ir::canonical_topo_order(design);
-      to_hash[k].result.digest = ir::canonical_dfg_digest(design, order);
-      to_hash[k].result.canonical_of.resize(order.size());
-      for (std::size_t ci = 0; ci < order.size(); ++ci)
-        to_hash[k].result.canonical_of[order[ci].value()] =
-            static_cast<std::uint32_t>(ci);
-    } catch (const std::exception& e) {
-      to_hash[k].result.error = e.what();
-    }
+    to_hash[k].result = hash_request_source(reqs[to_hash[k].rep]);
   });
 
   // -- publish memo + derive cache keys (serial) --------------------------
@@ -206,12 +215,7 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
       continue;
     }
     memos[i] = &memo;
-    // The salt carries the backend (registry index) and the meta kind:
-    // identical designs under different backends must never share a cache
-    // entry (docs/DESIGN.md §7).
-    out[i].key = ir::schedule_key(
-        memo.digest, reqs[i].resources,
-        sched::backend_option_salt(sched::get_backend(reqs[i].backend), reqs[i].meta));
+    out[i].key = schedule_key_for(reqs[i], memo.digest);
   }
 
   // -- dedup identical in-flight requests, consult the cache (serial, so
@@ -251,7 +255,7 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
     const auto t0 = clock_type::now();
     try {
       u.result = std::make_shared<const schedule_result>(
-          compute_schedule(reqs[u.rep], memos[u.rep]->canonical_of));
+          compute_canonical_schedule(reqs[u.rep], memos[u.rep]->canonical_of));
     } catch (const std::exception& e) {
       u.error = e.what(); // should be unreachable: the source already built once
     }
@@ -272,7 +276,7 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
       ++counters_.parse_errors;
       continue;
     }
-    out[i].result = to_source_order(*u.result, memos[i]->canonical_of);
+    out[i].result = result_to_source_order(*u.result, memos[i]->canonical_of);
     if (u.from_cache) {
       ++counters_.cache_hits;
     } else if (i == u.rep) {
@@ -332,12 +336,17 @@ stream_summary engine::run_stream(std::istream& in, std::ostream& out) {
 }
 
 void engine::write_response(std::ostream& out, const response& r) const {
+  write_response_line(out, r, options_.emit_schedule);
+}
+
+void write_response_line(std::ostream& out, const response& r, bool emit_schedule) {
   json_writer j(out, /*compact=*/true);
   j.begin_object();
   j.member("line", r.line);
   j.member("id", r.id);
   if (!r.error.empty()) {
     j.member("error", r.error);
+    if (r.retry_after_ms > 0) j.member("retry_after_ms", r.retry_after_ms);
   } else {
     j.member("backend", r.backend);
     j.member("key", r.key.hex());
@@ -345,7 +354,7 @@ void engine::write_response(std::ostream& out, const response& r) const {
     j.member("feasible", r.result.feasible);
     if (r.result.feasible) {
       j.member("latency", r.result.latency);
-      if (options_.emit_schedule) {
+      if (emit_schedule) {
         j.key("start");
         j.begin_array();
         for (const long long s : r.result.start_times) j.value(s);

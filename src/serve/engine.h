@@ -54,9 +54,49 @@ struct response {
   schedule_result result;
   double ms = 0;          ///< scheduling latency this request paid (0 when served
                           ///< from cache / dedup); excluded from same_payload
+  double retry_after_ms = 0; ///< backpressure hint on "overloaded" errors
+                             ///< (daemon admission control); serialized only
+                             ///< when positive
 
   [[nodiscard]] bool same_payload(const response& other) const;
 };
+
+/// Serializes one response as a single-line JSON object (no trailing
+/// newline). With emit_schedule off, the start/unit arrays are omitted.
+/// Shared by the batch engine and the resident daemon so both speak the
+/// exact same payload bytes (the input-order parity criterion).
+void write_response_line(std::ostream& out, const response& r, bool emit_schedule);
+
+/// Canonical identity of one request's *design source*: the digest behind
+/// its cache key and the source-id -> canonical-index map that moves
+/// results between the canonical space schedules are computed in and the
+/// requester's own vertex numbering. `error` non-empty means the source
+/// fails to build (and the other fields are meaningless).
+struct source_info {
+  ir::dfg_digest digest;
+  std::string error;
+  std::vector<std::uint32_t> canonical_of;
+};
+
+/// Builds + canonically hashes the request's design. Never throws: build
+/// failures land in source_info::error.
+[[nodiscard]] source_info hash_request_source(const request& req);
+
+/// Derives the schedule-cache key: canonical digest + allocation +
+/// backend/meta salt (identical designs under different backends must
+/// never share a cache entry - docs/DESIGN.md §7).
+[[nodiscard]] ir::dfg_digest schedule_key_for(const request& req,
+                                              const ir::dfg_digest& digest);
+
+/// Runs the request's scheduler backend in canonical space, share-nothing
+/// (safe to call concurrently from any thread). Throws on internal failure
+/// (unreachable once the source built).
+[[nodiscard]] schedule_result compute_canonical_schedule(
+    const request& req, const std::vector<std::uint32_t>& canonical_of);
+
+/// Canonical-indexed result -> the requester's own vertex numbering.
+[[nodiscard]] schedule_result result_to_source_order(
+    const schedule_result& canonical, const std::vector<std::uint32_t>& canonical_of);
 
 /// Cumulative request dispositions (every request lands in exactly one of
 /// computed / deduped / cache_hits / parse_errors).
@@ -122,13 +162,8 @@ public:
   [[nodiscard]] schedule_cache& cache() noexcept { return cache_; }
 
 private:
-  struct memo_entry {
-    ir::dfg_digest digest;
-    std::string error; ///< non-empty: the design source fails to build
-    /// Source vertex id -> canonical index: how this source's numbering
-    /// maps onto the canonical space results are computed and cached in.
-    std::vector<std::uint32_t> canonical_of;
-  };
+  /// Memo value: the source_info of one distinct design source.
+  using memo_entry = source_info;
 
   /// The one JSONL read loop (line numbering, blank-line skip, batch_size
   /// waves) behind run_collect and run_stream; returns the batch count.

@@ -1,0 +1,68 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace softsched::serve {
+
+namespace {
+
+/// Bucket ratio: bounds grow by 2^(1/8) per bucket.
+const double log2_scale = latency_histogram::buckets_per_octave;
+
+} // namespace
+
+double latency_histogram::relative_error() noexcept {
+  return std::exp2(1.0 / buckets_per_octave) - 1.0;
+}
+
+int latency_histogram::bucket_of(double ms) noexcept {
+  if (!(ms > floor_ms)) return 0;
+  const double octaves = std::log2(ms / floor_ms);
+  // ceil: bucket i covers (bound(i-1), bound(i)], so a value exactly on a
+  // bound belongs to that bucket and bucket_upper_bound never undershoots.
+  const auto index = static_cast<int>(std::ceil(octaves * log2_scale - 1e-9));
+  if (index < 0) return 0;
+  if (index >= bucket_count) return bucket_count - 1;
+  return index;
+}
+
+double latency_histogram::bucket_upper_bound(int index) noexcept {
+  return floor_ms * std::exp2(static_cast<double>(index) / log2_scale);
+}
+
+void latency_histogram::record(double ms) noexcept {
+  counts_[static_cast<std::size_t>(bucket_of(ms))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t latency_histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double latency_histogram::percentile(double p) const noexcept {
+  std::array<std::uint64_t, bucket_count> snap{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < bucket_count; ++i) {
+    snap[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * total), with rank at least 1.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < bucket_count; ++i) {
+    seen += snap[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(bucket_count - 1);
+}
+
+} // namespace softsched::serve

@@ -1,0 +1,89 @@
+#include "serve/transport.h"
+
+#include <istream>
+#include <ostream>
+
+namespace softsched::serve {
+
+namespace {
+
+/// The length line may not be longer than the digits of max_frame_bytes
+/// plus slack; anything beyond that is a garbage stream, not a number.
+constexpr std::size_t max_length_digits = 20;
+
+} // namespace
+
+frame_read read_frame(std::istream& in, const frame_limits& limits) {
+  frame_read out;
+
+  // -- length line: bare decimal digits up to '\n' --------------------------
+  std::string digits;
+  for (;;) {
+    const int ch = in.get();
+    if (ch == std::istream::traits_type::eof()) {
+      if (digits.empty()) return out; // clean EOF at a frame boundary
+      out.status = frame_status::error;
+      out.error = "transport: EOF inside frame length";
+      return out;
+    }
+    if (ch == '\n') break;
+    if (ch < '0' || ch > '9' || digits.size() >= max_length_digits) {
+      out.status = frame_status::error;
+      out.error = "transport: malformed frame length (expected decimal digits)";
+      return out;
+    }
+    digits.push_back(static_cast<char>(ch));
+  }
+  if (digits.empty()) {
+    out.status = frame_status::error;
+    out.error = "transport: empty frame length";
+    return out;
+  }
+
+  // Accumulate with an overflow guard; the cap check runs before any
+  // payload byte is buffered, so an oversize announcement costs nothing.
+  std::size_t length = 0;
+  for (const char d : digits) {
+    if (length > (limits.max_frame_bytes / 10) + 1) {
+      length = limits.max_frame_bytes + 1;
+      break;
+    }
+    length = length * 10 + static_cast<std::size_t>(d - '0');
+  }
+  if (length > limits.max_frame_bytes) {
+    out.status = frame_status::error;
+    out.error = "transport: frame of " + digits + " bytes exceeds the " +
+                std::to_string(limits.max_frame_bytes) + "-byte limit";
+    return out;
+  }
+
+  // -- payload: exactly `length` bytes, then the terminator ----------------
+  out.payload.resize(length);
+  if (length > 0) {
+    in.read(out.payload.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::size_t>(in.gcount()) != length) {
+      out.status = frame_status::error;
+      out.payload.clear();
+      out.error = "transport: truncated frame (EOF before " + digits +
+                  " payload bytes)";
+      return out;
+    }
+  }
+  if (in.get() != '\n') {
+    out.status = frame_status::error;
+    out.payload.clear();
+    out.error = "transport: missing frame terminator";
+    return out;
+  }
+  out.status = frame_status::ok;
+  return out;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  out << payload.size() << '\n';
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out << '\n';
+  out.flush();
+}
+
+} // namespace softsched::serve

@@ -1,0 +1,62 @@
+// transport.h - the framing layer of the resident scheduling daemon
+// (`softsched_cli --serve`). One frame carries one JSONL payload in either
+// direction:
+//
+//   <decimal byte count>\n<payload bytes>\n
+//
+// The count covers exactly the payload (not the terminating newline), so a
+// stream of single-line JSON payloads stays line-structured - length lines
+// and payload lines alternate, and shell tooling (`awk 'NR%2==0'`) can
+// recover the payloads - while payloads containing embedded newlines
+// (inline multi-line `dfg` uploads) remain unambiguous, because the reader
+// consumes by count, never by scanning for a delimiter.
+//
+// The codec is transport-agnostic on purpose: it reads std::istream and
+// writes std::ostream, so the same framing serves stdio today and a socket
+// streambuf later without touching the daemon. Hostile input never throws
+// and never desynchronizes silently - a malformed length, an oversize
+// frame, or an EOF mid-frame comes back as frame_status::error with a
+// diagnostic, and the daemon's policy (emit one transport-error response,
+// stop reading, drain) is pinned in tests/daemon_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace softsched::serve {
+
+/// Transport bounds. The frame cap exists for admission control at the
+/// byte level: a client must not be able to make the daemon buffer an
+/// unbounded payload before the request queue ever sees it.
+struct frame_limits {
+  std::size_t max_frame_bytes = 8u << 20; ///< largest accepted payload
+};
+
+enum class frame_status {
+  ok,   ///< one complete frame read
+  eof,  ///< clean end of stream (EOF exactly at a frame boundary)
+  error ///< malformed input; `error` holds the diagnostic
+};
+
+/// Result of one read_frame call.
+struct frame_read {
+  frame_status status = frame_status::eof;
+  std::string payload; ///< valid iff status == ok
+  std::string error;   ///< non-empty iff status == error
+};
+
+/// Reads one frame. Anything but a well-formed `<count>\n<payload>\n`
+/// whose count is within `limits` is an error: a non-digit or empty length
+/// line, a length above max_frame_bytes (rejected *before* buffering any
+/// payload), EOF inside the length line, EOF before `count` payload bytes
+/// arrived (truncated frame), or a missing frame terminator.
+[[nodiscard]] frame_read read_frame(std::istream& in, const frame_limits& limits = {});
+
+/// Writes `payload` as one frame (length line, payload bytes, terminator)
+/// and flushes, so a single-request client sees its response without
+/// waiting for the daemon's output buffer to fill.
+void write_frame(std::ostream& out, std::string_view payload);
+
+} // namespace softsched::serve

@@ -1,0 +1,759 @@
+// daemon_test.cpp - the resident scheduling daemon: frame codec round
+// trips and hostile-input rejection, the bounded-queue admission boundary,
+// streaming vs input-order response parity (and parity with the batch
+// engine), stats-counter consistency under concurrent clients, graceful
+// drain, the lock-light latency histogram against a sorted-vector oracle,
+// and the SOFTSCHED_INJECT fault plan (grammar + slot/shard injection
+// semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/daemon.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/transport.h"
+#include "util/check.h"
+#include "util/json_parse.h"
+
+namespace sv = softsched::serve;
+using softsched::json_value;
+using softsched::parse_json;
+using softsched::precondition_error;
+
+namespace {
+
+/// Frames each line as the daemon's client would.
+std::string framed(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  for (const std::string& l : lines) sv::write_frame(out, l);
+  return std::move(out).str();
+}
+
+/// Decodes every frame in a daemon output stream.
+std::vector<std::string> unframed(const std::string& wire) {
+  std::istringstream in(wire);
+  std::vector<std::string> payloads;
+  for (;;) {
+    const sv::frame_read f = sv::read_frame(in);
+    if (f.status != sv::frame_status::ok) {
+      EXPECT_EQ(f.status, sv::frame_status::eof) << f.error;
+      break;
+    }
+    payloads.push_back(f.payload);
+  }
+  return payloads;
+}
+
+/// Drops the nondeterministic scheduling-latency field - the only part of
+/// a response payload the determinism contract does not cover.
+std::string strip_ms(const std::string& payload) {
+  static const std::regex ms_field(",\"ms\":[0-9.eE+-]+");
+  return std::regex_replace(payload, ms_field, "");
+}
+
+std::string render(const sv::response& r, bool emit_schedule = true) {
+  std::ostringstream oss;
+  sv::write_response_line(oss, r, emit_schedule);
+  return std::move(oss).str();
+}
+
+/// Collects service callbacks thread-safely, indexed by arrival.
+struct collector {
+  std::mutex mutex;
+  std::vector<sv::response> responses;
+
+  sv::service::callback sink() {
+    return [this](sv::response r) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      responses.push_back(std::move(r));
+    };
+  }
+};
+
+/// Exact nearest-rank percentile (the oracle the histogram approximates
+/// from above; same definition as bench/load_scenario.h).
+double exact_percentile(std::vector<double> sample, double p) {
+  std::sort(sample.begin(), sample.end());
+  if (sample.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+  return sample[rank > 0 ? rank - 1 : 0];
+}
+
+} // namespace
+
+// -- frame codec ------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsSimplePayload) {
+  std::ostringstream out;
+  sv::write_frame(out, R"({"id":"a","bench":"ewf"})");
+  std::istringstream in(out.str());
+  const sv::frame_read f = sv::read_frame(in);
+  ASSERT_EQ(f.status, sv::frame_status::ok) << f.error;
+  EXPECT_EQ(f.payload, R"({"id":"a","bench":"ewf"})");
+  EXPECT_EQ(sv::read_frame(in).status, sv::frame_status::eof);
+}
+
+TEST(FrameCodec, RoundTripsEmbeddedNewlinesAndEmptyPayload) {
+  // Counted framing is what lets a multi-line dfg upload cross the wire.
+  const std::string multiline = "dfg t\nop a add\nop b add a\n";
+  std::ostringstream out;
+  sv::write_frame(out, multiline);
+  sv::write_frame(out, "");
+  sv::write_frame(out, "tail");
+  std::istringstream in(out.str());
+  sv::frame_read f = sv::read_frame(in);
+  ASSERT_EQ(f.status, sv::frame_status::ok);
+  EXPECT_EQ(f.payload, multiline);
+  f = sv::read_frame(in);
+  ASSERT_EQ(f.status, sv::frame_status::ok);
+  EXPECT_EQ(f.payload, "");
+  f = sv::read_frame(in);
+  ASSERT_EQ(f.status, sv::frame_status::ok);
+  EXPECT_EQ(f.payload, "tail");
+  EXPECT_EQ(sv::read_frame(in).status, sv::frame_status::eof);
+}
+
+TEST(FrameCodec, SingleLinePayloadsKeepLineStructure) {
+  // The shell contract: length lines and payload lines alternate, so
+  // `awk 'NR%2==0'` recovers the payloads.
+  std::ostringstream out;
+  sv::write_frame(out, "one");
+  sv::write_frame(out, "two");
+  std::istringstream lines(out.str());
+  std::vector<std::string> seen;
+  for (std::string l; std::getline(lines, l);) seen.push_back(l);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], "3");
+  EXPECT_EQ(seen[1], "one");
+  EXPECT_EQ(seen[2], "3");
+  EXPECT_EQ(seen[3], "two");
+}
+
+TEST(FrameCodec, TruncatedPayloadIsAnError) {
+  std::istringstream in("10\nabc");
+  const sv::frame_read f = sv::read_frame(in);
+  EXPECT_EQ(f.status, sv::frame_status::error);
+  EXPECT_NE(f.error.find("truncated"), std::string::npos) << f.error;
+}
+
+TEST(FrameCodec, OversizeLengthRejectedBeforeBuffering) {
+  // A hostile length must be refused on its face - no attempt to allocate
+  // or read the claimed payload (here the payload isn't even present).
+  std::istringstream in("999999999999\n");
+  const sv::frame_read f = sv::read_frame(in, sv::frame_limits{1 << 20});
+  EXPECT_EQ(f.status, sv::frame_status::error);
+  EXPECT_NE(f.error.find("exceeds"), std::string::npos) << f.error;
+
+  // At the limit exactly, the frame is still legal.
+  const std::string big(1 << 10, 'x');
+  std::ostringstream out;
+  sv::write_frame(out, big);
+  std::istringstream ok_in(out.str());
+  EXPECT_EQ(sv::read_frame(ok_in, sv::frame_limits{1 << 10}).status,
+            sv::frame_status::ok);
+}
+
+TEST(FrameCodec, EofInsideLengthLineIsAnError) {
+  std::istringstream in("12"); // digits, then EOF before '\n'
+  const sv::frame_read f = sv::read_frame(in);
+  EXPECT_EQ(f.status, sv::frame_status::error);
+  EXPECT_NE(f.error.find("EOF"), std::string::npos) << f.error;
+}
+
+TEST(FrameCodec, MalformedLengthLineIsAnError) {
+  for (const char* wire : {"abc\nxyz\n", "-3\nxyz\n", "3x\nxyz\n", "\nxyz\n",
+                           "999999999999999999999999\nx\n"}) {
+    std::istringstream in(wire);
+    EXPECT_EQ(sv::read_frame(in).status, sv::frame_status::error) << wire;
+  }
+}
+
+TEST(FrameCodec, MissingTerminatorIsAnError) {
+  std::istringstream in("3\nabc"); // count consumed, payload read, no '\n'
+  const sv::frame_read f = sv::read_frame(in);
+  EXPECT_EQ(f.status, sv::frame_status::error);
+  EXPECT_NE(f.error.find("terminator"), std::string::npos) << f.error;
+}
+
+// -- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, PercentileBracketsSortedVectorOracle) {
+  // The pinned contract: percentile() never under-reports the exact order
+  // statistic and overshoots it by at most one bucket ratio.
+  sv::latency_histogram hist;
+  std::vector<double> sample;
+  std::uint64_t state = 88172645463325252ull; // xorshift: deterministic mix
+  for (int i = 0; i < 2000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double ms = 0.01 * static_cast<double>(1 + state % 100000); // 10us..1s
+    sample.push_back(ms);
+    hist.record(ms);
+  }
+  EXPECT_EQ(hist.count(), 2000u);
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    const double exact = exact_percentile(sample, p);
+    const double approx = hist.percentile(p);
+    EXPECT_GE(approx, exact) << "p" << p;
+    EXPECT_LE(approx, exact * (1 + sv::latency_histogram::relative_error()) + 1e-9)
+        << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, EdgeValuesStayInRange) {
+  sv::latency_histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(99), 0.0); // empty: no invented latency
+
+  hist.record(0);    // at/below the floor: bottom bucket
+  hist.record(-5);   // negative input must not crash or wrap
+  hist.record(1e12); // far beyond the range: top bucket
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_LE(hist.percentile(1), sv::latency_histogram::floor_ms);
+  EXPECT_EQ(hist.percentile(100),
+            sv::latency_histogram::bucket_upper_bound(
+                sv::latency_histogram::bucket_count - 1));
+}
+
+TEST(LatencyHistogram, BucketMappingIsMonotoneAndCovering) {
+  double prev_bound = 0;
+  for (int b = 0; b < sv::latency_histogram::bucket_count; ++b) {
+    const double bound = sv::latency_histogram::bucket_upper_bound(b);
+    EXPECT_GT(bound, prev_bound);
+    prev_bound = bound;
+  }
+  const double ceiling = sv::latency_histogram::bucket_upper_bound(
+      sv::latency_histogram::bucket_count - 1);
+  int prev_bucket = 0;
+  for (double ms = 1e-4; ms < 1e6; ms *= 1.37) {
+    const int b = sv::latency_histogram::bucket_of(ms);
+    EXPECT_GE(b, prev_bucket) << ms; // monotone in the recorded value
+    prev_bucket = b;
+    if (ms <= ceiling) {
+      // In range, the bucket's upper bound covers the value it was chosen
+      // for; beyond the range everything clamps to the top bucket.
+      EXPECT_GE(sv::latency_histogram::bucket_upper_bound(b) * (1 + 1e-12), ms);
+    } else {
+      EXPECT_EQ(b, sv::latency_histogram::bucket_count - 1) << ms;
+    }
+  }
+}
+
+// -- fault plan (SOFTSCHED_INJECT grammar) ----------------------------------
+
+TEST(FaultPlan, ParsesSlotAndShardRules) {
+  const sv::fault_plan plan =
+      sv::fault_plan::parse("slot=0:delay_ms=5,shard=3:fail,slot=2:delay_ms=1.5:fail");
+  ASSERT_EQ(plan.slots.size(), 2u);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.slots.at(0).delay_ms, 5);
+  EXPECT_FALSE(plan.slots.at(0).fail);
+  EXPECT_TRUE(plan.shards.at(3).fail);
+  EXPECT_DOUBLE_EQ(plan.shards.at(3).delay_ms, 0);
+  EXPECT_DOUBLE_EQ(plan.slots.at(2).delay_ms, 1.5);
+  EXPECT_TRUE(plan.slots.at(2).fail);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(sv::fault_plan::parse("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=0"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("cpu=1:fail"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=x:fail"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=0:boom"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=0:delay_ms=-1"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=0:delay_ms=abc"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("shard=:fail"), precondition_error);
+}
+
+TEST(FaultPlan, FromEnvReadsTheKnob) {
+  ASSERT_EQ(setenv("SOFTSCHED_INJECT", "slot=1:fail", 1), 0);
+  const sv::fault_plan plan = sv::fault_plan::from_env();
+  EXPECT_TRUE(plan.slots.at(1).fail);
+  ASSERT_EQ(unsetenv("SOFTSCHED_INJECT"), 0);
+  EXPECT_TRUE(sv::fault_plan::from_env().empty());
+}
+
+// -- service core -----------------------------------------------------------
+
+TEST(ServeService, AnswersASingleRequest) {
+  sv::service_options opt;
+  opt.jobs = 1;
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(1, R"({"id":"q","bench":"ewf"})", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 1u);
+  EXPECT_EQ(got.responses[0].id, "q");
+  EXPECT_EQ(got.responses[0].line, 1u);
+  EXPECT_TRUE(got.responses[0].error.empty()) << got.responses[0].error;
+  EXPECT_TRUE(got.responses[0].result.feasible);
+  EXPECT_GT(got.responses[0].result.latency, 0);
+  const sv::service_stats s = svc.stats();
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(ServeService, ParseErrorsBecomeErrorResponses) {
+  sv::service_options opt;
+  opt.jobs = 1;
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(7, "not json", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 1u);
+  EXPECT_FALSE(got.responses[0].error.empty());
+  EXPECT_EQ(got.responses[0].id, "line7"); // parse failed: synthesized id
+  EXPECT_EQ(svc.stats().errors, 1u);
+}
+
+TEST(ServeService, AdmissionBoundaryShedsAtExactlyFullAndRecoversAfterDrain) {
+  // jobs = 1 maps every request to worker slot 0; the injected delay holds
+  // the queue full deterministically while we probe the boundary.
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.queue_capacity = 2;
+  opt.faults = sv::fault_plan::parse("slot=0:delay_ms=30");
+  sv::service svc(opt);
+  collector got;
+  EXPECT_TRUE(svc.submit(1, R"({"bench":"ewf"})", got.sink())); // depth 1
+  EXPECT_TRUE(svc.submit(2, R"({"bench":"ewf"})", got.sink())); // depth 2 = capacity
+  EXPECT_FALSE(svc.submit(3, R"({"bench":"ewf"})", got.sink())); // full: shed
+  EXPECT_FALSE(svc.submit(4, R"({"bench":"ewf"})", got.sink()));
+  svc.drain();
+  EXPECT_TRUE(svc.submit(5, R"({"bench":"ewf"})", got.sink())); // drained: accepts
+  svc.drain();
+  EXPECT_EQ(got.responses.size(), 3u); // shed requests never fire callbacks
+  const sv::service_stats s = svc.stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.overloaded, 2u);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.peak_queue_depth, 2u); // bounded at capacity, never above
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(ServeService, OverloadedResponseCarriesRetryAfterHint) {
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.retry_after_ms = 25;
+  sv::service svc(opt);
+  const sv::response shed = svc.overloaded_response(9);
+  EXPECT_EQ(shed.error, "overloaded");
+  EXPECT_EQ(shed.line, 9u);
+  EXPECT_DOUBLE_EQ(shed.retry_after_ms, 25);
+  const std::string wire = render(shed);
+  EXPECT_NE(wire.find("\"error\":\"overloaded\""), std::string::npos) << wire;
+  EXPECT_NE(wire.find("\"retry_after_ms\":25"), std::string::npos) << wire;
+  // Ordinary responses never carry the hint.
+  EXPECT_EQ(render(sv::response{}).find("retry_after_ms"), std::string::npos);
+}
+
+TEST(ServeService, ConcurrentIdenticalRequestsCoalesceOntoOneFlight) {
+  // The leader registers its flight before the injected shard delay, so
+  // the second identical request reliably arrives mid-flight and joins it.
+  sv::service_options opt;
+  opt.jobs = 2;
+  opt.cache_shards = 1;
+  opt.faults = sv::fault_plan::parse("shard=0:delay_ms=40");
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(1, R"({"id":"a","bench":"ewf"})", got.sink()));
+  ASSERT_TRUE(svc.submit(2, R"({"id":"b","bench":"ewf"})", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 2u);
+  const sv::service_stats s = svc.stats();
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.deduped, 1u);
+  EXPECT_EQ(got.responses[0].key, got.responses[1].key);
+  EXPECT_TRUE(got.responses[0].result.same_schedule(got.responses[1].result));
+}
+
+TEST(ServeService, DedupFollowerSurvivesOversizeRejectedCacheInsert) {
+  // Zero cache budget: every insert is rejected as oversize. The follower
+  // must receive the leader's result from the flight itself - a cache
+  // re-lookup would find nothing.
+  sv::service_options opt;
+  opt.jobs = 2;
+  opt.cache_bytes = 0;
+  opt.cache_shards = 1;
+  opt.faults = sv::fault_plan::parse("shard=0:delay_ms=40");
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(1, R"({"id":"a","bench":"hal"})", got.sink()));
+  ASSERT_TRUE(svc.submit(2, R"({"id":"b","bench":"hal"})", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 2u);
+  for (const sv::response& r : got.responses) {
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.result.feasible);
+    EXPECT_FALSE(r.result.start_times.empty());
+  }
+  EXPECT_GE(svc.cache().counters().rejected_oversize, 1u);
+  EXPECT_EQ(svc.stats().deduped, 1u);
+}
+
+TEST(ServeService, StatsStayConsistentUnderConcurrentClients) {
+  sv::service_options opt;
+  opt.jobs = 2;
+  opt.queue_capacity = 8; // small enough that clients hit the boundary too
+  sv::service svc(opt);
+  const std::vector<std::string> mix = {
+      R"({"bench":"ewf"})",        R"({"bench":"hal"})",
+      R"({"bench":"fir16"})",      R"({"bench":"ewf","alus":3})",
+      "garbage",                   R"({"bench":"nope"})",
+  };
+  std::atomic<std::uint64_t> callbacks{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&svc, &mix, &callbacks, c] {
+      for (int i = 0; i < 50; ++i) {
+        (void)svc.submit(static_cast<std::uint64_t>(c) * 1000 + i + 1,
+                         mix[static_cast<std::size_t>(i) % mix.size()],
+                         [&callbacks](sv::response) {
+                           callbacks.fetch_add(1, std::memory_order_relaxed);
+                         });
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  svc.drain();
+  const sv::service_stats s = svc.stats();
+  EXPECT_EQ(s.submitted, 200u);
+  EXPECT_EQ(s.submitted, s.admitted + s.overloaded);
+  EXPECT_EQ(s.completed, s.admitted);
+  EXPECT_EQ(callbacks.load(), s.admitted); // exactly once per admitted request
+  // Every completed request lands in exactly one disposition bucket.
+  EXPECT_EQ(s.errors + s.computed + s.cache_hits + s.deduped, s.completed);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_LE(s.peak_queue_depth, opt.queue_capacity);
+  EXPECT_GT(s.qps, 0);
+  EXPECT_GE(s.p99_ms, s.p50_ms);
+}
+
+TEST(ServeService, GracefulDrainCompletesEveryAdmittedRequest) {
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.queue_capacity = 64;
+  opt.faults = sv::fault_plan::parse("slot=0:delay_ms=1");
+  sv::service svc(opt);
+  std::atomic<std::uint64_t> fired{0};
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 20; ++i)
+    if (svc.submit(static_cast<std::uint64_t>(i) + 1, R"({"bench":"fig1"})",
+                   [&fired](sv::response) { fired.fetch_add(1); }))
+      ++admitted;
+  svc.drain();
+  EXPECT_EQ(fired.load(), admitted); // drain returns only when all answered
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+  EXPECT_EQ(svc.stats().completed, admitted);
+}
+
+// -- injection semantics ----------------------------------------------------
+
+TEST(ServeInjection, FailedSlotTurnsRequestsIntoInjectedErrors) {
+  // jobs = 1: every request lands on slot 0, before parsing even runs.
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.faults = sv::fault_plan::parse("slot=0:fail");
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(1, R"({"id":"q","bench":"ewf"})", got.sink()));
+  ASSERT_TRUE(svc.submit(2, "not even json", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 2u);
+  for (const sv::response& r : got.responses)
+    EXPECT_EQ(r.error, "injected fault: worker slot 0");
+  EXPECT_EQ(svc.stats().errors, 2u);
+  EXPECT_EQ(svc.stats().computed, 0u); // the fault preempts scheduling
+}
+
+TEST(ServeInjection, SlotDelayShowsUpInServiceLatency) {
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.faults = sv::fault_plan::parse("slot=0:delay_ms=20");
+  sv::service svc(opt);
+  collector got;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(svc.submit(1, R"({"bench":"fig1"})", got.sink()));
+  svc.drain();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(wall_ms, 20.0); // sleep_for guarantees at least the request
+  ASSERT_EQ(got.responses.size(), 1u);
+  EXPECT_TRUE(got.responses[0].error.empty()); // delayed, not failed
+  // The histogram measures admission -> response, so it saw the delay too;
+  // its percentile never under-reports.
+  EXPECT_GE(svc.stats().p50_ms, 20.0 * 0.9);
+}
+
+TEST(ServeInjection, FailedShardIsUnavailableNotFatal) {
+  // One shard, failed: lookups miss and inserts are dropped, so the same
+  // request is recomputed every time - degraded, never crashed.
+  sv::service_options opt;
+  opt.jobs = 1;
+  opt.cache_shards = 1;
+  opt.faults = sv::fault_plan::parse("shard=0:fail");
+  sv::service svc(opt);
+  collector got;
+  ASSERT_TRUE(svc.submit(1, R"({"id":"a","bench":"ewf"})", got.sink()));
+  svc.drain();
+  ASSERT_TRUE(svc.submit(2, R"({"id":"b","bench":"ewf"})", got.sink()));
+  svc.drain();
+  ASSERT_EQ(got.responses.size(), 2u);
+  for (const sv::response& r : got.responses) {
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.result.feasible);
+  }
+  const sv::service_stats s = svc.stats();
+  EXPECT_EQ(s.computed, 2u); // second request recomputed: no hit possible
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(svc.cache().counters().insertions, 0u); // inserts dropped
+  EXPECT_TRUE(got.responses[0].result.same_schedule(got.responses[1].result));
+}
+
+// -- run_daemon -------------------------------------------------------------
+
+TEST(ServeDaemon, StreamingModeAnswersEveryFrame) {
+  std::istringstream in(framed({
+      R"({"id":"a","bench":"ewf"})",
+      R"({"id":"b","bench":"hal"})",
+      R"({"id":"c","broken)",
+  }));
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 1;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_EQ(summary.frames, 3u);
+  EXPECT_EQ(summary.requests, 3u);
+  EXPECT_EQ(summary.responses, 3u);
+  EXPECT_FALSE(summary.shutdown_requested);
+  EXPECT_FALSE(summary.transport_error);
+  EXPECT_EQ(summary.stats.completed, 3u);
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 3u);
+  int errors = 0;
+  for (const std::string& p : payloads) {
+    const json_value v = parse_json(p); // every frame is valid JSON
+    if (v.find("error") != nullptr) ++errors;
+  }
+  EXPECT_EQ(errors, 1); // exactly the broken line
+}
+
+TEST(ServeDaemon, OrderedAndStreamingModesAgreeOnPayloads) {
+  const std::vector<std::string> lines = {
+      R"({"id":"a","bench":"ewf"})",       R"({"id":"b","random":120,"seed":5})",
+      R"({"id":"c","bench":"ewf"})",       R"({"id":"bad","bench":"nope"})",
+      R"({"id":"d","bench":"fir16"})",     R"(garbage)",
+      R"({"id":"e","bench":"iir4"})",
+  };
+  auto run = [&lines](bool ordered) {
+    std::istringstream in(framed(lines));
+    std::ostringstream out;
+    sv::daemon_options opt;
+    opt.service.jobs = 4;
+    opt.ordered = ordered;
+    (void)sv::run_daemon(in, out, opt);
+    std::vector<std::string> payloads = unframed(out.str());
+    for (std::string& p : payloads) p = strip_ms(p);
+    return payloads;
+  };
+  std::vector<std::string> streaming = run(false);
+  const std::vector<std::string> ordered = run(true);
+  ASSERT_EQ(streaming.size(), lines.size());
+  ASSERT_EQ(ordered.size(), lines.size());
+  // Ordered mode releases strictly by input sequence...
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const json_value v = parse_json(ordered[i]);
+    EXPECT_EQ(v.find("line")->as_integer(1, 1000), static_cast<long long>(i + 1));
+  }
+  // ...and streaming mode emits the same payload *set*, just reordered.
+  std::vector<std::string> ordered_sorted = ordered;
+  std::sort(streaming.begin(), streaming.end());
+  std::sort(ordered_sorted.begin(), ordered_sorted.end());
+  EXPECT_EQ(streaming, ordered_sorted);
+}
+
+TEST(ServeDaemon, OrderedModeMatchesBatchEngineByteForByte) {
+  // The PR-4 determinism contract, engine edition: --serve --serve-ordered
+  // must be indistinguishable from --serve-batch modulo the ms field.
+  const std::vector<std::string> lines = {
+      R"({"id":"a","bench":"ewf"})",
+      R"({"id":"b","bench":"ewf","alus":3,"meta":"topo"})",
+      R"({"id":"bad","bench":"missing"})",
+      R"({"id":"c","bench":"ewf"})",
+      R"(not json)",
+      R"({"id":"d","random":120,"seed":5})",
+  };
+  sv::engine_options eopt;
+  eopt.jobs = 1;
+  sv::engine eng(eopt);
+  std::string jsonl;
+  for (const std::string& l : lines) jsonl += l + "\n";
+  std::istringstream batch_in(jsonl);
+  std::ostringstream batch_out;
+  (void)eng.run_stream(batch_in, batch_out);
+  std::vector<std::string> batch_lines;
+  {
+    std::istringstream split(batch_out.str());
+    for (std::string l; std::getline(split, l);) batch_lines.push_back(strip_ms(l));
+  }
+
+  std::istringstream daemon_in(framed(lines));
+  std::ostringstream daemon_out;
+  sv::daemon_options dopt;
+  dopt.service.jobs = 4;
+  dopt.ordered = true;
+  (void)sv::run_daemon(daemon_in, daemon_out, dopt);
+  std::vector<std::string> daemon_lines = unframed(daemon_out.str());
+  for (std::string& p : daemon_lines) p = strip_ms(p);
+
+  ASSERT_EQ(daemon_lines.size(), batch_lines.size());
+  for (std::size_t i = 0; i < daemon_lines.size(); ++i)
+    EXPECT_EQ(daemon_lines[i], batch_lines[i]) << "line " << i;
+}
+
+TEST(ServeDaemon, StatsControlFrameReportsLiveCounters) {
+  std::istringstream in(framed({
+      R"({"id":"a","bench":"ewf"})",
+      R"({"op":"stats"})",
+  }));
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 1;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_EQ(summary.frames, 2u);
+  EXPECT_EQ(summary.requests, 1u); // the control frame is not a request
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 2u);
+  const json_value* stats = nullptr;
+  std::vector<json_value> docs;
+  for (const std::string& p : payloads) docs.push_back(parse_json(p));
+  for (const json_value& v : docs)
+    if (const json_value* op = v.find("op"); op != nullptr) stats = &v;
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("op")->as_string(), "stats");
+  EXPECT_EQ(stats->find("submitted")->as_integer(0, 100), 1);
+  ASSERT_NE(stats->find("queue_depth"), nullptr);
+  ASSERT_NE(stats->find("p99_ms"), nullptr);
+  ASSERT_NE(stats->find("hit_rate"), nullptr);
+}
+
+TEST(ServeDaemon, ShutdownDrainsThenAcksAndStopsReading) {
+  std::istringstream in(framed({
+      R"({"id":"a","bench":"ewf"})",
+      R"({"id":"b","bench":"hal"})",
+      R"({"op":"shutdown"})",
+      R"({"id":"never","bench":"ewf"})", // after shutdown: must stay unread
+  }));
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 2;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_TRUE(summary.shutdown_requested);
+  EXPECT_EQ(summary.frames, 3u);
+  EXPECT_EQ(summary.requests, 2u);
+  EXPECT_EQ(summary.stats.completed, 2u); // drained before the ack
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 3u);
+  // Pre-shutdown requests all answered; the ack is the final frame.
+  EXPECT_EQ(payloads.back(), R"({"op":"shutdown","drained":true})");
+  for (std::size_t i = 0; i + 1 < payloads.size(); ++i)
+    EXPECT_EQ(parse_json(payloads[i]).find("op"), nullptr);
+}
+
+TEST(ServeDaemon, UnknownOpIsAnErrorFrameNotAShutdown) {
+  std::istringstream in(framed({
+      R"({"op":"restart"})",
+      R"({"id":"after","bench":"fig1"})", // daemon keeps serving
+  }));
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 1;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_FALSE(summary.shutdown_requested);
+  EXPECT_EQ(summary.requests, 1u);
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 2u);
+  const json_value err = parse_json(payloads[0]);
+  EXPECT_EQ(err.find("id")->as_string(), "control");
+  EXPECT_EQ(err.find("error")->as_string(), "unknown op: restart");
+  EXPECT_TRUE(parse_json(payloads[1]).find("feasible")->as_bool());
+}
+
+TEST(ServeDaemon, TransportErrorAnswersOnceDrainsAndStops) {
+  std::string wire = framed({R"({"id":"a","bench":"ewf"})"});
+  wire += "bogus-length\n";                       // malformed frame
+  wire += framed({R"({"id":"b","bench":"hal"})"}); // must stay unread
+  std::istringstream in(wire);
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 1;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_TRUE(summary.transport_error);
+  EXPECT_EQ(summary.frames, 1u); // only the well-formed frame counted
+  EXPECT_EQ(summary.requests, 1u);
+  EXPECT_EQ(summary.stats.completed, 1u); // admitted work still drained
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 2u);
+  bool saw_transport = false;
+  for (const std::string& p : payloads) {
+    const json_value v = parse_json(p);
+    if (const json_value* id = v.find("id");
+        id != nullptr && id->is_string() && id->as_string() == "transport") {
+      saw_transport = true;
+      EXPECT_FALSE(v.find("error")->as_string().empty());
+    }
+  }
+  EXPECT_TRUE(saw_transport);
+}
+
+TEST(ServeDaemon, OverloadShedsWithOverloadedFramesInOrder) {
+  // Tiny queue + injected slot delay: a burst must produce a mix of real
+  // and "overloaded" responses - exactly one frame per request, in input
+  // order under --serve-ordered.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 8; ++i) lines.push_back(R"({"bench":"fig1"})");
+  std::istringstream in(framed(lines));
+  std::ostringstream out;
+  sv::daemon_options opt;
+  opt.service.jobs = 1;
+  opt.service.queue_capacity = 1;
+  opt.service.retry_after_ms = 5;
+  opt.service.faults = sv::fault_plan::parse("slot=0:delay_ms=10");
+  opt.ordered = true;
+  const sv::daemon_summary summary = sv::run_daemon(in, out, opt);
+  EXPECT_EQ(summary.requests, 8u);
+  EXPECT_EQ(summary.responses, 8u);
+  EXPECT_GT(summary.stats.overloaded, 0u);
+  EXPECT_LE(summary.stats.peak_queue_depth, 1u);
+  const std::vector<std::string> payloads = unframed(out.str());
+  ASSERT_EQ(payloads.size(), 8u);
+  std::uint64_t shed = 0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const json_value v = parse_json(payloads[i]);
+    EXPECT_EQ(v.find("line")->as_integer(1, 100), static_cast<long long>(i + 1));
+    if (const json_value* e = v.find("error");
+        e != nullptr && e->is_string() && e->as_string() == "overloaded") {
+      ++shed;
+      EXPECT_NE(payloads[i].find("\"retry_after_ms\":5"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(shed, summary.stats.overloaded);
+  EXPECT_EQ(shed + summary.stats.completed, 8u);
+}

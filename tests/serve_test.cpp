@@ -495,6 +495,41 @@ TEST(ServeRequest, HostileNumericInputIsAnErrorNotUndefinedBehavior) {
   EXPECT_FALSE(responses[0].error.empty());
 }
 
+TEST(ServeEngine, DedupedOversizeResultServesEveryClientAndRecomputes) {
+  // The dedup x oversize corner: two clients request the same design in
+  // one batch, and the cache budget is too small to retain the computed
+  // schedule. The deduped follower must be served from the in-flight
+  // result itself (a cache re-lookup would find nothing), and the next
+  // batch must recompute rather than crash or serve a stale pointer.
+  sv::engine_options opt;
+  opt.jobs = 2;
+  opt.cache_bytes = 0; // every insert is oversize-rejected
+  opt.cache_shards = 1;
+  sv::engine eng(opt);
+  const auto first = run_lines(eng, {R"({"id":"a","bench":"ewf"})",
+                                     R"({"id":"b","bench":"ewf"})"});
+  ASSERT_EQ(first.size(), 2u);
+  for (const sv::response& r : first) {
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.result.feasible);
+    EXPECT_FALSE(r.result.start_times.empty());
+  }
+  EXPECT_EQ(first[0].key, first[1].key);
+  EXPECT_TRUE(first[0].result.same_schedule(first[1].result));
+  EXPECT_EQ(first[0].result.start_times, first[1].result.start_times);
+  EXPECT_EQ(eng.counters().computed, 1u);
+  EXPECT_EQ(eng.counters().deduped, 1u);
+  EXPECT_GE(eng.cache().counters().rejected_oversize, 1u);
+
+  // Nothing was retained, so the next batch recomputes - and agrees.
+  const auto second = run_lines(eng, {R"({"id":"c","bench":"ewf"})"});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].error.empty()) << second[0].error;
+  EXPECT_EQ(eng.counters().computed, 2u);
+  EXPECT_EQ(eng.counters().cache_hits, 0u);
+  EXPECT_TRUE(second[0].result.same_schedule(first[0].result));
+}
+
 TEST(ScheduleCache, OversizeReplacementKeepsResidentValue) {
   // Regression: rejecting an oversize *replacement* must not erase the
   // value already cached under the key.

@@ -34,6 +34,7 @@
 #include "refine/refinement.h"
 #include "regalloc/left_edge.h"
 #include "sched/backend.h"
+#include "serve/daemon.h"
 #include "serve/engine.h"
 #include "regalloc/lifetime.h"
 #include "util/check.h"
@@ -86,6 +87,10 @@ struct options {
   int cache_mb = 64;
   int serve_batch_size = 64;
   bool serve_compact = false; // omit start/unit arrays from responses
+  // resident daemon mode
+  std::string serve;          // framed request stream; "-" = stdin
+  int serve_queue = 256;      // admission-control queue capacity
+  bool serve_ordered = false; // input-order responses instead of streaming
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -120,6 +125,12 @@ struct options {
       << "  --cache-mb <n>                                  schedule cache budget (64)\n"
       << "  --serve-batch-size <n>                          requests per wave (64)\n"
       << "  --serve-compact                                 omit start/unit arrays\n"
+      << "resident daemon (framed requests in -> framed responses out;\n"
+      << "wire protocol in docs/SERVING.md; SOFTSCHED_INJECT enables fault\n"
+      << "injection for tests):\n"
+      << "  --serve <file|->                                framed stream (- = stdin)\n"
+      << "  --serve-queue <n>                               admission capacity (256)\n"
+      << "  --serve-ordered                                 input-order responses\n"
       << "output:\n"
       << "  --gantt  --stats  --registers  --dot <file|->\n";
   std::exit(error.empty() ? 0 : 2);
@@ -155,6 +166,9 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--mul-lat-range") opt.mul_lat_range = need(i);
     else if (arg == "--explore-out") opt.explore_out = need(i);
     else if (arg == "--serve-batch") opt.serve_batch = need(i);
+    else if (arg == "--serve") opt.serve = need(i);
+    else if (arg == "--serve-queue") opt.serve_queue = std::atoi(need(i).c_str());
+    else if (arg == "--serve-ordered") opt.serve_ordered = true;
     else if (arg == "--out") opt.out_file = need(i);
     else if (arg == "--cache-mb") opt.cache_mb = std::atoi(need(i).c_str());
     else if (arg == "--serve-batch-size") opt.serve_batch_size = std::atoi(need(i).c_str());
@@ -169,9 +183,12 @@ options parse_args(int argc, char** argv) {
   const int inputs = static_cast<int>(!opt.bench.empty()) +
                      static_cast<int>(!opt.dfg_file.empty()) +
                      static_cast<int>(!opt.beh_file.empty());
-  if (!opt.serve_batch.empty()) {
+  if (!opt.serve_batch.empty() || !opt.serve.empty()) {
+    if (!opt.serve_batch.empty() && !opt.serve.empty())
+      usage(argv[0], "--serve (resident daemon) and --serve-batch (one-shot "
+                     "batch) are mutually exclusive");
     if (inputs != 0)
-      usage(argv[0], "--serve-batch reads designs from its JSONL requests, "
+      usage(argv[0], "--serve/--serve-batch read designs from their requests, "
                      "not from --bench/--dfg/--beh");
   } else if (inputs != 1) {
     usage(argv[0], "exactly one of --bench/--dfg/--beh is required");
@@ -421,7 +438,55 @@ int run_serve(const options& opt) {
   return 0;
 }
 
+// Resident daemon: framed requests -> framed responses (docs/SERVING.md),
+// session summary on stderr. SOFTSCHED_INJECT (fault injection for tests)
+// is honored here and nowhere else.
+int run_daemon_mode(const options& opt) {
+  SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(opt.serve_queue >= 1, "--serve-queue must be >= 1");
+  sv::daemon_options dopt;
+  dopt.service.jobs = opt.jobs;
+  dopt.service.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
+  dopt.service.queue_capacity = static_cast<std::size_t>(opt.serve_queue);
+  dopt.service.emit_schedule = !opt.serve_compact;
+  dopt.service.faults = sv::fault_plan::from_env();
+  dopt.ordered = opt.serve_ordered;
+
+  std::ifstream in_file;
+  std::istream* in = &std::cin;
+  if (opt.serve != "-") {
+    in_file.open(opt.serve);
+    if (!in_file) throw softsched::precondition_error("cannot open " + opt.serve);
+    in = &in_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!opt.out_file.empty() && opt.out_file != "-") {
+    out_file.open(opt.out_file);
+    if (!out_file) throw softsched::precondition_error("cannot open " + opt.out_file);
+    out = &out_file;
+  }
+
+  const sv::daemon_summary summary = sv::run_daemon(*in, *out, dopt);
+  out->flush();
+  if (!*out) throw softsched::precondition_error("failed to write responses");
+
+  const sv::service_stats& s = summary.stats;
+  std::cerr << "daemon: " << summary.requests << " requests (" << s.admitted
+            << " admitted, " << s.overloaded << " shed), " << s.computed
+            << " scheduled, " << s.cache_hits << " cache hits, " << s.deduped
+            << " deduped, " << s.errors << " errors (hit rate " << s.hit_rate
+            << ")\n";
+  std::cerr << "daemon: " << s.uptime_ms << " ms up, " << s.qps << " qps, p50/p95/p99 "
+            << s.p50_ms << "/" << s.p95_ms << "/" << s.p99_ms << " ms, peak queue "
+            << s.peak_queue_depth << "/" << dopt.service.queue_capacity
+            << (summary.shutdown_requested ? ", shutdown" : "")
+            << (summary.transport_error ? ", transport error" : "") << "\n";
+  return summary.transport_error ? 1 : 0;
+}
+
 int run(const options& opt) {
+  if (!opt.serve.empty()) return run_daemon_mode(opt);
   if (!opt.serve_batch.empty()) return run_serve(opt);
   if (opt.explore) return run_explore(opt);
   const si::resource_library lib;
