@@ -6,10 +6,14 @@
 // bench/load_scenario.h).
 //
 // Usage: load_harness [--quick] [--out PATH] [--seed N] [--jobs N]
+//                     [--retry] [--cache-dir DIR] [--disk-cache-mb N]
 //   --jobs 0 (default) uses every hardware thread. --quick is accepted for
 //   CI-invocation symmetry with perf_harness but changes nothing: the mix
 //   is fixed so the gate always compares like against like.
-//   SOFTSCHED_INJECT is honored (the nightly injected-storm leg).
+//   --retry turns on the closed-loop bounded-retry client (honors the
+//   retry_after_ms hint on shed requests). --cache-dir/--disk-cache-mb
+//   give the service a persistent tier - with SOFTSCHED_INJECT io= rules
+//   this is the nightly disk-fault storm leg.
 // Exits nonzero when the scenario's own SLO gate fails.
 #include <cstdint>
 #include <fstream>
@@ -22,24 +26,32 @@
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_load.json";
   std::uint64_t seed = 20260729;
-  unsigned jobs = 0;
+  softsched::bench::load_options lopt;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--quick") {
         // accepted, no effect: fixed mix (see header comment)
+      } else if (arg == "--retry") {
+        lopt.retry = true;
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (arg == "--seed" && i + 1 < argc) {
         seed = std::stoull(argv[++i]);
       } else if (arg == "--jobs" && i + 1 < argc) {
-        jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        lopt.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg == "--cache-dir" && i + 1 < argc) {
+        lopt.cache_dir = argv[++i];
+        if (lopt.disk_cache_bytes == 0) lopt.disk_cache_bytes = 64ull << 20;
+      } else if (arg == "--disk-cache-mb" && i + 1 < argc) {
+        lopt.disk_cache_bytes = std::stoull(argv[++i]) << 20;
       } else {
         throw std::invalid_argument(arg);
       }
     }
   } catch (const std::exception&) {
-    std::cerr << "usage: load_harness [--quick] [--out PATH] [--seed N] [--jobs N]\n";
+    std::cerr << "usage: load_harness [--quick] [--out PATH] [--seed N] [--jobs N]"
+                 " [--retry] [--cache-dir DIR] [--disk-cache-mb N]\n";
     return 2;
   }
 
@@ -54,7 +66,7 @@ int main(int argc, char** argv) {
   j.member("schema", "softsched-load-v1");
   j.member("seed", seed);
   j.key("load");
-  const bool ok = softsched::bench::write_load_scenario(j, seed, jobs);
+  const bool ok = softsched::bench::write_load_scenario(j, seed, lopt);
   j.end_object();
   out << '\n';
   if (!j.done() || !out) {

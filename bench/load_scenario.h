@@ -44,8 +44,29 @@
 #include "serve/daemon.h"
 #include "serve_scenario.h"
 #include "util/json.h"
+#include "util/rng.h"
 
 namespace softsched::bench {
+
+/// Knobs for write_load_scenario beyond the seed.
+struct load_options {
+  unsigned jobs = 0; ///< worker threads; 0 = thread_pool::hardware_workers()
+
+  /// Closed-loop retry on shed requests: instead of counting a shed
+  /// request as dropped immediately, resubmit it after the service's own
+  /// retry_after_ms hint (exponential backoff, +-25% deterministic jitter,
+  /// at most retry_max_attempts total attempts). This is the client-side
+  /// half of the admission-control contract - the hint the daemon sends
+  /// with every "overloaded" response, finally exercised.
+  bool retry = false;
+  int retry_max_attempts = 3; ///< total attempts per request (1 = no retry)
+
+  /// Optional persistent tier for the replayed service (the nightly
+  /// disk-fault storm leg points this at a scratch directory and injects
+  /// io= faults to prove the SLO story holds with a misbehaving disk).
+  std::string cache_dir;
+  std::size_t disk_cache_bytes = 0;
+};
 
 /// Exact nearest-rank percentile of a sorted sample (the oracle the
 /// histogram in serve/metrics.h approximates from above).
@@ -72,11 +93,11 @@ inline void warm_catalog(serve::service& svc, std::uint64_t seed) {
 }
 
 /// Emits the whole scenario as the value of an already-written "load" key.
-/// `jobs` = 0 picks thread_pool::hardware_workers(). Returns the slo.pass
-/// verdict.
-inline bool write_load_scenario(json_writer& j, std::uint64_t seed, unsigned jobs = 0) {
+/// Returns the slo.pass verdict.
+inline bool write_load_scenario(json_writer& j, std::uint64_t seed,
+                                const load_options& lopt = {}) {
   using clock_type = std::chrono::steady_clock;
-  if (jobs == 0) jobs = thread_pool::hardware_workers();
+  unsigned jobs = lopt.jobs == 0 ? thread_pool::hardware_workers() : lopt.jobs;
   constexpr int calibration_requests = 500;
   constexpr int replay_requests = 1500;
   constexpr std::size_t queue_capacity = 64;
@@ -92,6 +113,8 @@ inline bool write_load_scenario(json_writer& j, std::uint64_t seed, unsigned job
   sopt.queue_capacity = queue_capacity;
   sopt.emit_schedule = false;
   sopt.faults = serve::fault_plan::from_env();
+  sopt.cache_dir = lopt.cache_dir;
+  sopt.disk_cache_bytes = lopt.disk_cache_bytes;
 
   const std::vector<std::string> mix =
       make_serve_mix(seed, std::max(calibration_requests, replay_requests));
@@ -119,12 +142,12 @@ inline bool write_load_scenario(json_writer& j, std::uint64_t seed, unsigned job
   std::atomic<std::uint64_t> error_responses{0};
   std::uint64_t dropped = 0;
   const auto start = clock_type::now();
-  for (int i = 0; i < replay_requests; ++i) {
-    const auto scheduled =
-        start + std::chrono::duration_cast<clock_type::duration>(
-                    std::chrono::duration<double>(static_cast<double>(i) / target_rps));
-    std::this_thread::sleep_until(scheduled);
-    const bool admitted = svc.submit(
+
+  // Latency is always measured from the request's *scheduled arrival* -
+  // for a retried request that includes every backoff it sat through, so
+  // retrying cannot launder tail latency (no coordinated omission).
+  const auto submit_request = [&](int i, clock_type::time_point scheduled) {
+    return svc.submit(
         static_cast<std::uint64_t>(i) + 1, mix[static_cast<std::size_t>(i)],
         [&latency_ms, &error_responses, i, scheduled](serve::response r) {
           latency_ms[static_cast<std::size_t>(i)] =
@@ -132,7 +155,73 @@ inline bool write_load_scenario(json_writer& j, std::uint64_t seed, unsigned job
                   .count();
           if (!r.error.empty()) error_responses.fetch_add(1, std::memory_order_relaxed);
         });
-    if (!admitted) ++dropped;
+  };
+
+  // Closed-loop retry bookkeeping (lopt.retry): a shed request is
+  // rescheduled after the service's retry_after_ms hint with exponential
+  // backoff and deterministic +-25% jitter, up to retry_max_attempts total
+  // attempts; only exhausting them counts as dropped.
+  struct pending_retry {
+    clock_type::time_point due;
+    clock_type::time_point scheduled; ///< original arrival (latency anchor)
+    int index = 0;
+    int attempt = 1; ///< attempts already spent
+  };
+  std::vector<pending_retry> retry_queue;
+  std::uint64_t retry_attempts = 0, retry_recovered = 0, retry_exhausted = 0;
+  const int max_attempts = std::max(1, lopt.retry_max_attempts);
+  rng jitter(seed ^ 0x72657472794c4fULL);
+  const auto backoff_after = [&](int attempts_spent) {
+    const double base = std::max(0.1, sopt.retry_after_ms);
+    const double factor = static_cast<double>(1 << std::min(attempts_spent - 1, 10));
+    const double ms = base * factor * (0.75 + 0.5 * jitter.uniform());
+    return std::chrono::duration_cast<clock_type::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  };
+  const auto process_retries = [&](clock_type::time_point now) {
+    std::vector<pending_retry> still;
+    still.reserve(retry_queue.size());
+    for (const pending_retry& p : retry_queue) {
+      if (p.due > now) {
+        still.push_back(p);
+        continue;
+      }
+      ++retry_attempts;
+      if (submit_request(p.index, p.scheduled)) {
+        ++retry_recovered;
+      } else if (p.attempt + 1 <= max_attempts) {
+        still.push_back(
+            pending_retry{now + backoff_after(p.attempt), p.scheduled, p.index, p.attempt + 1});
+      } else {
+        ++retry_exhausted;
+        ++dropped;
+      }
+    }
+    retry_queue.swap(still);
+  };
+
+  for (int i = 0; i < replay_requests; ++i) {
+    const auto scheduled =
+        start + std::chrono::duration_cast<clock_type::duration>(
+                    std::chrono::duration<double>(static_cast<double>(i) / target_rps));
+    std::this_thread::sleep_until(scheduled);
+    if (lopt.retry) process_retries(clock_type::now());
+    if (!submit_request(i, scheduled)) {
+      if (lopt.retry && max_attempts > 1) {
+        retry_queue.push_back(
+            pending_retry{clock_type::now() + backoff_after(1), scheduled, i, 1});
+      } else {
+        ++dropped;
+      }
+    }
+  }
+  // Drain the retry queue before draining the service: requests still
+  // backing off have neither completed nor been dropped yet.
+  while (!retry_queue.empty()) {
+    auto due = retry_queue.front().due;
+    for (const pending_retry& p : retry_queue) due = std::min(due, p.due);
+    std::this_thread::sleep_until(due);
+    process_retries(clock_type::now());
   }
   svc.drain();
   const double replay_wall_ms =
@@ -180,6 +269,16 @@ inline bool write_load_scenario(json_writer& j, std::uint64_t seed, unsigned job
   j.member("hit_rate", stats.hit_rate);
   j.member("error_responses", error_responses.load());
   j.member("injected", !sopt.faults.empty());
+  j.member("disk_enabled", stats.disk_enabled);
+  j.member("disk_degraded", stats.disk_degraded);
+  j.key("retry");
+  j.begin_object();
+  j.member("enabled", lopt.retry);
+  j.member("max_attempts", static_cast<long long>(max_attempts));
+  j.member("attempts", retry_attempts);
+  j.member("recovered", retry_recovered);
+  j.member("exhausted", retry_exhausted);
+  j.end_object();
   j.key("slo");
   j.begin_object();
   j.member("p99_limit_ms", p99_limit_ms);

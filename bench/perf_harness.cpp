@@ -36,6 +36,7 @@
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
 #include "load_scenario.h"
+#include "persist_scenario.h"
 #include "serve_scenario.h"
 #include "graph/generators.h"
 #include "ir/benchmarks.h"
@@ -447,6 +448,13 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: resident service overload replay...\n";
   j.key("load");
   ok = softsched::bench::write_load_scenario(j, seed) && ok;
+
+  // Two-tier persistent cache: cold-populate a disk tier, warm-restart a
+  // fresh engine over it, then serve through an injected disk outage (see
+  // persist_scenario.h). Self-gating; fixed mix in quick and full mode.
+  std::cerr << "perf_harness: persistent cache warm restart...\n";
+  j.key("persist");
+  ok = softsched::bench::write_persist_scenario(j, seed) && ok;
 
   // Fixed benchmark suite under every registered scheduler backend (see
   // backend_scenario.h): the head-to-head numbers the paper's comparison

@@ -25,6 +25,9 @@ LOWER_IS_BETTER = {
     # name: (tolerance, floor)
     "load.p99_ms": (4.0, 1.0),
     "load.drop_rate": (2.0, 0.1),
+    # The recovery scan is sub-ms on the fixed mix; without the floor a
+    # 0.2 ms -> 0.9 ms filesystem hiccup would read as a 4x regression.
+    "persist.recovery_scan_ms": (4.0, 50.0),
 }
 
 
@@ -50,6 +53,12 @@ def metrics(doc):
         "load.p99_ms": s["load"]["p99_ms"],
         "load.drop_rate": s["load"]["drop_rate"],
         "load.goodput_rps": s["load"]["goodput_rps"],
+        "persist.warm_restart_hit_rate": s["persist"]["warm_restart_hit_rate"],
+        "persist.requests_per_sec_warm": s["persist"]["requests_per_sec_warm"],
+        "persist.requests_per_sec_degraded": s["persist"][
+            "requests_per_sec_degraded"
+        ],
+        "persist.recovery_scan_ms": s["persist"]["recovery_scan_ms"],
     }
 
 
@@ -125,6 +134,40 @@ def validate(doc, label):
             )
         if isinstance(load.get("slo"), dict) and not load["slo"].get("pass"):
             errors.append(f"{label}: load: scenario's own SLO gate failed")
+    persist = s.get("persist")
+    if not persist:
+        errors.append(f"{label}: missing scenario persist")
+    else:
+        for key in (
+            "warm_restart_hit_rate",
+            "recovery_scan_ms",
+            "recovered_entries",
+            "requests_per_sec_warm",
+            "requests_per_sec_degraded",
+            "gate",
+        ):
+            if key not in persist:
+                errors.append(f"{label}: persist: missing {key}")
+        if not persist.get("deterministic", False):
+            errors.append(
+                f"{label}: persist: responses diverged across disk-tier "
+                "configurations"
+            )
+        if not 0 < persist.get("warm_restart_hit_rate", 0) <= 1:
+            errors.append(
+                f"{label}: persist: warm_restart_hit_rate outside (0, 1] - "
+                "the warm restart did not serve from disk"
+            )
+        if persist.get("recovered_entries", 0) <= 0:
+            errors.append(f"{label}: persist: recovery scan indexed nothing")
+        if persist.get("degraded_request_errors", 0) != 0:
+            errors.append(
+                f"{label}: persist: a disk outage surfaced "
+                f"{persist['degraded_request_errors']} request errors - the "
+                "tier must degrade to RAM-only, never error"
+            )
+        if isinstance(persist.get("gate"), dict) and not persist["gate"].get("pass"):
+            errors.append(f"{label}: persist: scenario's own gate failed")
     backend = s.get("backend")
     if not backend:
         errors.append(f"{label}: missing scenario backend")
@@ -174,6 +217,7 @@ def main():
         "serve.requests_per_sec_hot",
         "serve.hit_rate",
         "backend.soft_points_per_sec",
+        "persist.warm_restart_hit_rate",
     }
 
     print("### Benchmark gate (fail only on >%.0fx regression)\n" % TOLERANCE)
@@ -229,6 +273,15 @@ def main():
         f"goodput {load['goodput_rps']:.0f} rps, peak queue "
         f"{load['peak_queue_depth']}/{load['queue_capacity']}, "
         f"slo_pass={load['slo']['pass']}"
+    )
+    persist = fresh["scenarios"]["persist"]
+    print(
+        f"\npersist: {persist['recovered_entries']} records recovered in "
+        f"{persist['recovery_scan_ms']:.2f} ms, warm-restart hit rate "
+        f"{persist['warm_restart_hit_rate']:.3f}, degraded-mode "
+        f"{persist['requests_per_sec_degraded']:.0f} rps with "
+        f"{persist.get('degraded_request_errors', 0)} request errors, "
+        f"gate_pass={persist['gate']['pass']}"
     )
 
     if errors:

@@ -56,6 +56,19 @@ def minimal_doc():
                 "peak_queue_depth": 64,
                 "slo": {"pass": True},
             },
+            "persist": {
+                "requests": 400,
+                "catalog": 30,
+                "jobs": 4,
+                "warm_restart_hit_rate": 1.0,
+                "recovery_scan_ms": 0.2,
+                "recovered_entries": 30,
+                "requests_per_sec_warm": 60000.0,
+                "requests_per_sec_degraded": 5000.0,
+                "degraded_request_errors": 0,
+                "deterministic": True,
+                "gate": {"pass": True},
+            },
             "backend": {
                 "constraint": "2+/-,2*",
                 "designs": ["hal", "arf", "ewf", "fir8"],
@@ -262,6 +275,76 @@ def test_load_goodput_is_informational(tmp_path):
     # Goodput is machine-dependent; a big drop is reported, not fatal.
     fresh = minimal_doc()
     fresh["scenarios"]["load"]["goodput_rps"] = 9000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_missing_persist_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["persist"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "persist" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_persist_gate_failure_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["gate"]["pass"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "persist: scenario's own gate failed" in result.stdout
+
+
+def test_persist_zero_warm_hit_rate_fails(tmp_path):
+    # A warm restart that recomputes everything means the disk tier never
+    # answered - the whole point of persistence is gone.
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["warm_restart_hit_rate"] = 0.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "warm_restart_hit_rate" in result.stdout
+
+
+def test_persist_degraded_request_errors_fail(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["degraded_request_errors"] = 3
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "degrade to RAM-only" in result.stdout
+
+
+def test_persist_hit_rate_collapse_fails(tmp_path):
+    # warm_restart_hit_rate is a gated higher-is-better metric: a >2x drop
+    # against baseline fails even when it stays inside (0, 1].
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["warm_restart_hit_rate"] = 0.4
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "persist.warm_restart_hit_rate" in result.stdout
+
+
+def test_persist_recovery_scan_within_floored_tolerance_passes(tmp_path):
+    # Baseline scan is sub-ms; the 50 ms floor means anything under 200 ms
+    # is filesystem jitter, not a regression.
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["recovery_scan_ms"] = 150.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_persist_recovery_scan_blowup_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["recovery_scan_ms"] = 250.0  # > 50 * 4
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "persist.recovery_scan_ms" in result.stdout
+
+
+def test_persist_degraded_rps_is_informational(tmp_path):
+    # Outage-mode throughput is machine-dependent; a drop reports, not fails.
+    fresh = minimal_doc()
+    fresh["scenarios"]["persist"]["requests_per_sec_degraded"] = 100.0
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 0, result.stdout + result.stderr
 

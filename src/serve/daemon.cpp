@@ -87,11 +87,16 @@ fault_plan fault_plan::parse(std::string_view spec) {
                          "' needs <target>:<action> (e.g. slot=0:delay_ms=5)");
 
     const std::string_view target = segments[0];
-    fault_action action;
+    const bool is_io = target.substr(0, 3) == "io=";
+    disk_fault_action action; // superset: slot/shard rules use delay/fail only
     for (std::size_t a = 1; a < segments.size(); ++a) {
       const std::string_view part = segments[a];
       if (part == "fail") {
         action.fail = true;
+      } else if (part == "torn") {
+        SOFTSCHED_EXPECT(is_io, "fault spec: action 'torn' only applies to io=<n> targets "
+                                "(rule '" + std::string(rule) + "')");
+        action.torn = true;
       } else if (part.substr(0, 9) == "delay_ms=") {
         action.delay_ms = parse_fault_delay(part.substr(9), rule);
       } else {
@@ -100,12 +105,16 @@ fault_plan fault_plan::parse(std::string_view spec) {
       }
     }
     if (target.substr(0, 5) == "slot=") {
-      plan.slots[parse_fault_index(target.substr(5), rule)] = action;
+      plan.slots[parse_fault_index(target.substr(5), rule)] =
+          fault_action{action.delay_ms, action.fail};
     } else if (target.substr(0, 6) == "shard=") {
-      plan.shards[parse_fault_index(target.substr(6), rule)] = action;
+      plan.shards[parse_fault_index(target.substr(6), rule)] =
+          fault_action{action.delay_ms, action.fail};
+    } else if (is_io) {
+      plan.io.ops[parse_fault_index(target.substr(3), rule)] = action;
     } else {
       SOFTSCHED_EXPECT(false, "fault spec: unknown target '" + std::string(target) +
-                                  "' (expected slot=<n> or shard=<n>)");
+                                  "' (expected slot=<n>, shard=<n> or io=<n>)");
     }
   }
   return plan;
@@ -124,6 +133,14 @@ service::service(const service_options& options)
       cache_(options.cache_bytes, options.cache_shards),
       started_at_(clock_type::now()) {
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (!options_.cache_dir.empty() && options_.disk_cache_bytes > 0) {
+    disk_cache_options disk;
+    disk.directory = options_.cache_dir;
+    disk.byte_budget = options_.disk_cache_bytes;
+    disk.flush_queue_capacity = std::max<std::size_t>(options_.disk_flush_queue, 1);
+    disk.faults = options_.faults.io;
+    disk_ = std::make_unique<disk_cache>(disk);
+  }
   pool_ = std::make_unique<thread_pool>(jobs_);
 }
 
@@ -183,6 +200,8 @@ void service::drain() {
   drained_.wait(lock,
                 [&] { return completed_.load(std::memory_order_acquire) >= target; });
 }
+
+std::size_t service::flush_disk() { return disk_ != nullptr ? disk_->flush() : 0; }
 
 source_info service::lookup_source(const request& req) {
   const std::string sig = req.source_signature();
@@ -306,6 +325,14 @@ void service::process(std::uint64_t seq, const std::string& text, const callback
       sleep_ms(shard_delay);
       schedule_cache::result_ptr cached;
       if (shard_available) cached = cache_.lookup(r.key);
+      if (cached == nullptr && disk_ != nullptr) {
+        // Read-through: a RAM miss consults the persistent tier; a disk
+        // hit is promoted so the next ask is a RAM hit. The disk tier is
+        // global (not sharded), so an injected shard failure only blocks
+        // the promotion, never the read.
+        cached = disk_->lookup(r.key);
+        if (cached != nullptr && shard_available) cache_.insert(r.key, cached);
+      }
       if (cached != nullptr) {
         from_cache = true;
         f.result = std::move(cached);
@@ -315,6 +342,7 @@ void service::process(std::uint64_t seq, const std::string& text, const callback
             compute_canonical_schedule(req, source.canonical_of));
         compute_ms = millis_since(t0);
         if (shard_available) cache_.insert(r.key, f.result);
+        if (disk_ != nullptr) disk_->enqueue(r.key, f.result); // write-behind
       }
     } catch (const std::exception& e) {
       f.error = e.what();
@@ -371,6 +399,23 @@ service_stats service::stats() const {
   s.hit_rate = served > 0
                    ? static_cast<double>(s.cache_hits + s.deduped) / static_cast<double>(served)
                    : 0;
+  if (disk_ != nullptr) {
+    const disk_cache_counters d = disk_->counters();
+    s.disk_enabled = true;
+    s.disk_degraded = d.degraded;
+    s.disk_hits = d.hits;
+    s.disk_misses = d.misses;
+    s.disk_writes = d.writes;
+    s.disk_evictions = d.evictions;
+    s.disk_corrupt_dropped = d.corrupt_dropped;
+    s.disk_io_errors = d.io_errors;
+    s.disk_queue_dropped = d.queue_dropped;
+    s.disk_flushed = d.flushed;
+    s.disk_entries = d.entries;
+    s.disk_bytes = d.bytes;
+    s.disk_recovery_scan_ms = d.recovery_scan_ms;
+    s.disk_recovered_entries = d.recovered_entries;
+  }
   return s;
 }
 
@@ -403,6 +448,23 @@ std::string render_stats(const service_stats& s) {
   j.member("computed", s.computed);
   j.member("cache_hits", s.cache_hits);
   j.member("deduped", s.deduped);
+  j.key("disk");
+  j.begin_object();
+  j.member("enabled", s.disk_enabled);
+  j.member("degraded", s.disk_degraded);
+  j.member("hits", s.disk_hits);
+  j.member("misses", s.disk_misses);
+  j.member("writes", s.disk_writes);
+  j.member("evictions", s.disk_evictions);
+  j.member("corrupt_dropped", s.disk_corrupt_dropped);
+  j.member("io_errors", s.disk_io_errors);
+  j.member("queue_dropped", s.disk_queue_dropped);
+  j.member("flushed", s.disk_flushed);
+  j.member("entries", s.disk_entries);
+  j.member("bytes", s.disk_bytes);
+  j.member("recovery_scan_ms", s.disk_recovery_scan_ms);
+  j.member("recovered_entries", s.disk_recovered_entries);
+  j.end_object();
   j.end_object();
   return std::move(oss).str();
 }
@@ -510,14 +572,18 @@ daemon_summary run_daemon(std::istream& in, std::ostream& out,
   }
 
   // Graceful drain: every admitted request answers before the daemon
-  // returns, whatever ended the read loop (EOF, shutdown, transport error).
+  // returns, whatever ended the read loop (EOF, shutdown, transport error),
+  // and the write-behind queue is flushed to disk before the final frame -
+  // a clean stop never loses warm entries.
   svc.drain();
+  const std::size_t flushed = svc.flush_disk();
   if (summary.shutdown_requested) {
     std::ostringstream oss;
     json_writer j(oss, /*compact=*/true);
     j.begin_object();
     j.member("op", "shutdown");
     j.member("drained", true);
+    j.member("flushed", flushed);
     j.end_object();
     writer.control(std::move(oss).str());
   }

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "serve/cache.h"
+#include "serve/diskcache.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
 #include "serve/transport.h"
@@ -70,18 +71,28 @@ struct fault_action {
 /// Deterministic fault-injection plan for the serve layer. Spec grammar
 /// (the SOFTSCHED_INJECT value): comma-separated rules, each
 /// `<target>:<action>[:<action>...]` with targets `slot=<n>` / `shard=<n>`
-/// and actions `delay_ms=<float>` / `fail`, e.g.
+/// / `io=<n>` and actions `delay_ms=<float>` / `fail` / `torn` (io only),
+/// e.g.
 ///
-///   SOFTSCHED_INJECT="slot=0:delay_ms=5,shard=3:fail"
+///   SOFTSCHED_INJECT="slot=0:delay_ms=5,shard=3:fail,io=2:torn"
 ///
 /// A failed worker slot turns its requests into `"error":"injected fault:
 /// worker slot <n>"` responses; a failed cache shard is unavailable (its
-/// lookups miss, its inserts are dropped) - degraded, never crashed.
+/// lookups miss, its inserts are dropped) - degraded, never crashed. An
+/// `io=<n>` rule targets the Nth disk-tier record operation (1-based,
+/// counting every record read/write attempt): `fail` reports an I/O error
+/// (the disk tier degrades to RAM-only), `torn` makes a write persist only
+/// a prefix while reporting success (the power-loss shape), and `delay_ms`
+/// stalls the operation - under the flusher mutex, which is how the CI
+/// kill-mid-write-behind leg pins its SIGKILL to a deterministic point.
 struct fault_plan {
   std::unordered_map<unsigned, fault_action> slots;
   std::unordered_map<unsigned, fault_action> shards;
+  disk_fault_plan io; ///< forwarded to the disk tier (serve/diskcache.h)
 
-  [[nodiscard]] bool empty() const noexcept { return slots.empty() && shards.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return slots.empty() && shards.empty() && io.empty();
+  }
 
   /// Parses a spec string; throws precondition_error on grammar errors
   /// (unknown target, unknown action, non-numeric index/delay).
@@ -99,6 +110,14 @@ struct service_options {
   bool emit_schedule = true;        ///< include start/unit arrays in responses
   double retry_after_ms = 10;       ///< backpressure hint on shed requests
   fault_plan faults;                ///< empty = no injection
+
+  // Persistent tier (docs/SERVING.md "Persistence"): enabled iff cache_dir
+  // is non-empty and disk_cache_bytes > 0. RAM misses read through to disk
+  // (hits are promoted into the RAM tier); computed results are
+  // write-behind-queued for a background flusher.
+  std::string cache_dir;
+  std::size_t disk_cache_bytes = 0;
+  std::size_t disk_flush_queue = 256; ///< write-behind bound (>= 1)
 };
 
 /// The resident scheduling service: bounded-queue admission, streaming
@@ -135,12 +154,20 @@ public:
   /// after drain() begins are *not* waited for.
   void drain();
 
+  /// Drains the disk tier's write-behind queue; returns how many records
+  /// this call flushed (0 when the disk tier is off). The daemon calls
+  /// this after drain() so a clean stop never loses warm entries, and
+  /// reports the count as `"flushed":<n>` in the shutdown ack.
+  std::size_t flush_disk();
+
   /// One snapshot of the live counters (the {"op":"stats"} payload).
   [[nodiscard]] service_stats stats() const;
 
   [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
   [[nodiscard]] const service_options& options() const noexcept { return options_; }
   [[nodiscard]] schedule_cache& cache() noexcept { return cache_; }
+  /// The persistent tier, or nullptr when not configured.
+  [[nodiscard]] disk_cache* disk() noexcept { return disk_.get(); }
 
 private:
   /// In-flight dedup rendezvous: the leader publishes its canonical-space
@@ -162,6 +189,7 @@ private:
   service_options options_;
   unsigned jobs_ = 1;
   schedule_cache cache_;
+  std::unique_ptr<disk_cache> disk_; ///< null when the persistent tier is off
   std::unique_ptr<thread_pool> pool_;
   std::chrono::steady_clock::time_point started_at_;
 

@@ -130,10 +130,20 @@ engine::engine(const engine_options& options)
       jobs_(options.jobs < 1 ? thread_pool::hardware_workers()
                              : static_cast<unsigned>(options.jobs)),
       cache_(options.cache_bytes, options.cache_shards) {
+  if (!options_.cache_dir.empty() && options_.disk_cache_bytes > 0) {
+    disk_cache_options disk;
+    disk.directory = options_.cache_dir;
+    disk.byte_budget = options_.disk_cache_bytes;
+    disk.flush_queue_capacity = std::max<std::size_t>(options_.disk_flush_queue, 1);
+    disk.faults = options_.disk_faults;
+    disk_ = std::make_unique<disk_cache>(disk);
+  }
   if (jobs_ > 1) pool_ = std::make_unique<thread_pool>(jobs_);
 }
 
 engine::~engine() = default;
+
+std::size_t engine::flush_disk() { return disk_ != nullptr ? disk_->flush() : 0; }
 
 std::size_t engine::source_memo_byte_budget() const noexcept {
   // Same order as the operator's cache budget, floored so a tiny (or zero)
@@ -241,7 +251,15 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
   }
   std::vector<std::size_t> to_compute;
   for (std::size_t u = 0; u < uniques.size(); ++u) {
-    if (auto hit = cache_.lookup(uniques[u].key)) {
+    auto hit = cache_.lookup(uniques[u].key);
+    if (hit == nullptr && disk_ != nullptr) {
+      // Read-through: a RAM miss consults the persistent tier; a disk hit
+      // is promoted so the next ask is a RAM hit. Still serial and in
+      // input order, so hit patterns stay reproducible.
+      hit = disk_->lookup(uniques[u].key);
+      if (hit != nullptr) cache_.insert(uniques[u].key, hit);
+    }
+    if (hit != nullptr) {
       uniques[u].result = std::move(hit);
       uniques[u].from_cache = true;
     } else {
@@ -265,7 +283,10 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
   // -- publish to the cache (serial, input order: eviction sequences are a
   //    pure function of the request stream) -------------------------------
   for (const std::size_t u : to_compute)
-    if (uniques[u].error.empty()) cache_.insert(uniques[u].key, uniques[u].result);
+    if (uniques[u].error.empty()) {
+      cache_.insert(uniques[u].key, uniques[u].result);
+      if (disk_ != nullptr) disk_->enqueue(uniques[u].key, uniques[u].result); // write-behind
+    }
 
   // -- respond in input order ---------------------------------------------
   for (std::size_t i = 0; i < n; ++i) {

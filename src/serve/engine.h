@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "serve/cache.h"
+#include "serve/diskcache.h"
 #include "serve/request.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -40,6 +41,15 @@ struct engine_options {
   unsigned cache_shards = 16;
   std::size_t batch_size = 64;             ///< requests per dispatch wave; 0 = whole stream
   bool emit_schedule = true;               ///< include start/unit arrays in JSONL output
+
+  // Persistent tier (docs/SERVING.md "Persistence"): enabled iff cache_dir
+  // is non-empty and disk_cache_bytes > 0. Because caching is never
+  // observable in response payloads, turning the disk tier on or off
+  // cannot change a single output byte - only the hit counters and `ms`.
+  std::string cache_dir;
+  std::size_t disk_cache_bytes = 0;
+  std::size_t disk_flush_queue = 256; ///< write-behind bound (>= 1)
+  disk_fault_plan disk_faults;        ///< io=<n> injection (serve/daemon.h grammar)
 };
 
 /// One response. `same_payload` ignores only the latency field - the
@@ -160,6 +170,13 @@ public:
   [[nodiscard]] const engine_options& options() const noexcept { return options_; }
   [[nodiscard]] const engine_counters& counters() const noexcept { return counters_; }
   [[nodiscard]] schedule_cache& cache() noexcept { return cache_; }
+  /// The persistent tier, or nullptr when not configured.
+  [[nodiscard]] disk_cache* disk() noexcept { return disk_.get(); }
+
+  /// Drains the disk tier's write-behind queue; returns how many records
+  /// this call flushed (0 when the disk tier is off). The destructor also
+  /// flushes, so calling this is only needed to *observe* the count.
+  std::size_t flush_disk();
 
 private:
   /// Memo value: the source_info of one distinct design source.
@@ -173,6 +190,7 @@ private:
   engine_options options_;
   unsigned jobs_ = 1;
   schedule_cache cache_;
+  std::unique_ptr<disk_cache> disk_; ///< null when the persistent tier is off
   std::unique_ptr<thread_pool> pool_; ///< null when jobs_ == 1
   engine_counters counters_;
 

@@ -672,7 +672,7 @@ TEST(ServeDaemon, ShutdownDrainsThenAcksAndStopsReading) {
   const std::vector<std::string> payloads = unframed(out.str());
   ASSERT_EQ(payloads.size(), 3u);
   // Pre-shutdown requests all answered; the ack is the final frame.
-  EXPECT_EQ(payloads.back(), R"({"op":"shutdown","drained":true})");
+  EXPECT_EQ(payloads.back(), R"({"op":"shutdown","drained":true,"flushed":0})");
   for (std::size_t i = 0; i + 1 < payloads.size(); ++i)
     EXPECT_EQ(parse_json(payloads[i]).find("op"), nullptr);
 }

@@ -87,6 +87,9 @@ struct options {
   int cache_mb = 64;
   int serve_batch_size = 64;
   bool serve_compact = false; // omit start/unit arrays from responses
+  // persistent schedule-cache tier (both serve modes; docs/SERVING.md)
+  std::string cache_dir;  // empty = disk tier off
+  int disk_cache_mb = 0;  // 0 = disk tier off
   // resident daemon mode
   std::string serve;          // framed request stream; "-" = stdin
   int serve_queue = 256;      // admission-control queue capacity
@@ -125,12 +128,18 @@ struct options {
       << "  --cache-mb <n>                                  schedule cache budget (64)\n"
       << "  --serve-batch-size <n>                          requests per wave (64)\n"
       << "  --serve-compact                                 omit start/unit arrays\n"
+      << "  --cache-dir <dir>                               persistent cache tier\n"
+      << "  --disk-cache-mb <n>                             disk tier budget (0 = off)\n"
       << "resident daemon (framed requests in -> framed responses out;\n"
       << "wire protocol in docs/SERVING.md; SOFTSCHED_INJECT enables fault\n"
       << "injection for tests):\n"
       << "  --serve <file|->                                framed stream (- = stdin)\n"
       << "  --serve-queue <n>                               admission capacity (256)\n"
       << "  --serve-ordered                                 input-order responses\n"
+      << "persistent cache maintenance (docs/SERVING.md \"Persistence\"):\n"
+      << "  cache export --cache-dir <dir> [--out <file|->] ship a warm cache\n"
+      << "  cache import --cache-dir <dir> --in <file|->    load a shipped cache\n"
+      << "               [--disk-cache-mb <n>]              import budget (1024)\n"
       << "output:\n"
       << "  --gantt  --stats  --registers  --dot <file|->\n";
   std::exit(error.empty() ? 0 : 2);
@@ -171,6 +180,8 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--serve-ordered") opt.serve_ordered = true;
     else if (arg == "--out") opt.out_file = need(i);
     else if (arg == "--cache-mb") opt.cache_mb = std::atoi(need(i).c_str());
+    else if (arg == "--cache-dir") opt.cache_dir = need(i);
+    else if (arg == "--disk-cache-mb") opt.disk_cache_mb = std::atoi(need(i).c_str());
     else if (arg == "--serve-batch-size") opt.serve_batch_size = std::atoi(need(i).c_str());
     else if (arg == "--serve-compact") opt.serve_compact = true;
     else if (arg == "--gantt") opt.gantt = true;
@@ -392,16 +403,34 @@ int run_explore(const options& opt) {
   return 0;
 }
 
+// One stable stderr line for the persistent tier, shared by both serve
+// modes (and grepped by the docs/SERVING.md warm-restart example).
+void report_disk_tier(const sv::disk_cache_counters& d) {
+  std::cerr << "serve: disk tier: " << d.hits << " disk hits, " << d.misses
+            << " disk misses, " << d.writes << " writes, " << d.flushed
+            << " flushed, " << d.evictions << " evictions, " << d.corrupt_dropped
+            << " corrupt dropped, " << d.io_errors << " io errors; recovered "
+            << d.recovered_entries << " entries in " << d.recovery_scan_ms
+            << " ms; " << d.entries << " entries, " << d.bytes << " bytes"
+            << (d.degraded ? "; DEGRADED (RAM-only)" : "") << "\n";
+}
+
 // Batch scheduling service: JSONL requests -> JSONL responses, cache and
 // dedup summary on stderr (stdout stays machine-readable).
 int run_serve(const options& opt) {
   SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(opt.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
   SOFTSCHED_EXPECT(opt.serve_batch_size >= 0, "--serve-batch-size must be >= 0");
   sv::engine_options eopt;
   eopt.jobs = opt.jobs;
   eopt.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
   eopt.batch_size = static_cast<std::size_t>(opt.serve_batch_size);
   eopt.emit_schedule = !opt.serve_compact;
+  eopt.cache_dir = opt.cache_dir;
+  eopt.disk_cache_bytes = static_cast<std::size_t>(opt.disk_cache_mb) << 20;
+  // Only the io= family applies here (slot/shard target the daemon); it is
+  // consumed exclusively by the disk tier.
+  eopt.disk_faults = sv::fault_plan::from_env().io;
 
   std::ifstream in_file;
   std::istream* in = &std::cin;
@@ -435,6 +464,10 @@ int run_serve(const options& opt) {
   std::cerr << "serve: " << summary.wall_ms << " ms, " << summary.requests_per_sec()
             << " requests/sec; cache " << cc.entries << " entries, " << cc.bytes
             << " bytes, " << cc.evictions << " evictions\n";
+  if (sv::disk_cache* disk = eng.disk(); disk != nullptr) {
+    (void)eng.flush_disk(); // report settled counters, not a mid-flush snapshot
+    report_disk_tier(disk->counters());
+  }
   return 0;
 }
 
@@ -443,6 +476,7 @@ int run_serve(const options& opt) {
 // is honored here and nowhere else.
 int run_daemon_mode(const options& opt) {
   SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(opt.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
   SOFTSCHED_EXPECT(opt.serve_queue >= 1, "--serve-queue must be >= 1");
   sv::daemon_options dopt;
   dopt.service.jobs = opt.jobs;
@@ -450,6 +484,8 @@ int run_daemon_mode(const options& opt) {
   dopt.service.queue_capacity = static_cast<std::size_t>(opt.serve_queue);
   dopt.service.emit_schedule = !opt.serve_compact;
   dopt.service.faults = sv::fault_plan::from_env();
+  dopt.service.cache_dir = opt.cache_dir;
+  dopt.service.disk_cache_bytes = static_cast<std::size_t>(opt.disk_cache_mb) << 20;
   dopt.ordered = opt.serve_ordered;
 
   std::ifstream in_file;
@@ -482,7 +518,87 @@ int run_daemon_mode(const options& opt) {
             << s.peak_queue_depth << "/" << dopt.service.queue_capacity
             << (summary.shutdown_requested ? ", shutdown" : "")
             << (summary.transport_error ? ", transport error" : "") << "\n";
+  if (s.disk_enabled) {
+    std::cerr << "serve: disk tier: " << s.disk_hits << " disk hits, " << s.disk_misses
+              << " disk misses, " << s.disk_writes << " writes, " << s.disk_flushed
+              << " flushed, " << s.disk_evictions << " evictions, "
+              << s.disk_corrupt_dropped << " corrupt dropped, " << s.disk_io_errors
+              << " io errors; recovered " << s.disk_recovered_entries << " entries in "
+              << s.disk_recovery_scan_ms << " ms; " << s.disk_entries << " entries, "
+              << s.disk_bytes << " bytes"
+              << (s.disk_degraded ? "; DEGRADED (RAM-only)" : "") << "\n";
+  }
   return summary.transport_error ? 1 : 0;
+}
+
+// `cache export` / `cache import`: ship a warm disk tier between hosts as
+// one self-validating stream (every record re-verifies its own checksum on
+// both sides; a corrupt record is skipped on export and stops an import).
+int run_cache_tool(int argc, char** argv) {
+  const std::string verb = argc >= 3 ? argv[2] : "";
+  if (verb != "export" && verb != "import")
+    usage(argv[0], "cache subcommand needs a verb: cache export | cache import");
+  std::string dir, out_spec, in_spec;
+  int budget_mb = 1024;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--cache-dir") dir = need();
+    else if (arg == "--out") out_spec = need();
+    else if (arg == "--in") in_spec = need();
+    else if (arg == "--disk-cache-mb") budget_mb = std::atoi(need().c_str());
+    else usage(argv[0], "unknown cache option " + arg);
+  }
+  SOFTSCHED_EXPECT(!dir.empty(), "cache " + verb + " needs --cache-dir");
+  SOFTSCHED_EXPECT(budget_mb >= 1, "--disk-cache-mb must be >= 1");
+
+  if (verb == "export") {
+    sv::disk_cache_options copt;
+    copt.directory = dir;
+    // Export must never evict what it is about to ship: open with an
+    // effectively unbounded budget regardless of the serving-time one.
+    copt.byte_budget = static_cast<std::size_t>(-1) / 2;
+    sv::disk_cache cache(copt);
+    std::ofstream out_file;
+    std::ostream* out = &std::cout;
+    if (!out_spec.empty() && out_spec != "-") {
+      out_file.open(out_spec, std::ios::binary);
+      if (!out_file) throw softsched::precondition_error("cannot open " + out_spec);
+      out = &out_file;
+    }
+    const std::optional<std::uint64_t> count = cache.export_to(*out);
+    out->flush();
+    if (!count.has_value() || !*out)
+      throw softsched::precondition_error("cache export: write failed");
+    const sv::disk_cache_counters d = cache.counters();
+    std::cerr << "cache export: " << *count << " records (" << d.corrupt_dropped
+              << " corrupt dropped, " << d.io_errors << " io errors)\n";
+    return d.io_errors > 0 ? 1 : 0;
+  }
+
+  SOFTSCHED_EXPECT(!in_spec.empty(), "cache import needs --in <file|->");
+  std::ifstream in_file;
+  std::istream* in = &std::cin;
+  if (in_spec != "-") {
+    in_file.open(in_spec, std::ios::binary);
+    if (!in_file) throw softsched::precondition_error("cannot open " + in_spec);
+    in = &in_file;
+  }
+  sv::disk_cache_options copt;
+  copt.directory = dir;
+  copt.byte_budget = static_cast<std::size_t>(budget_mb) << 20;
+  sv::disk_cache cache(copt);
+  const sv::disk_import_summary s = cache.import_from(*in);
+  const sv::disk_cache_counters d = cache.counters();
+  std::cerr << "cache import: " << s.imported << " records imported ("
+            << s.corrupt_skipped << " corrupt skipped"
+            << (s.truncated ? ", stream truncated" : "") << "), now " << d.entries
+            << " entries, " << d.bytes << " bytes"
+            << (d.degraded ? "; DEGRADED" : "") << "\n";
+  return (s.corrupt_skipped > 0 || s.truncated || d.degraded) ? 1 : 0;
 }
 
 int run(const options& opt) {
@@ -605,6 +721,7 @@ int run(const options& opt) {
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "cache") return run_cache_tool(argc, argv);
     return run(parse_args(argc, argv));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
