@@ -7,6 +7,7 @@
 //
 // Usage: load_harness [--quick] [--out PATH] [--seed N] [--jobs N]
 //                     [--retry] [--cache-dir DIR] [--disk-cache-mb N]
+//                     [--connections N]
 //   --jobs 0 (default) uses every hardware thread. --quick is accepted for
 //   CI-invocation symmetry with perf_harness but changes nothing: the mix
 //   is fixed so the gate always compares like against like.
@@ -14,6 +15,12 @@
 //   retry_after_ms hint on shed requests). --cache-dir/--disk-cache-mb
 //   give the service a persistent tier - with SOFTSCHED_INJECT io= rules
 //   this is the nightly disk-fault storm leg.
+//   --connections N switches to the multi-client socket scenario
+//   (bench/socket_scenario.h): the same open-loop zipf replay driven over
+//   N unix-socket connections against an in-process socket_server, with
+//   connection churn - and, under SOFTSCHED_INJECT conn= rules, the
+//   nightly connection-churn storm leg. Emits a "socket" block instead of
+//   "load".
 // Exits nonzero when the scenario's own SLO gate fails.
 #include <cstdint>
 #include <fstream>
@@ -22,11 +29,14 @@
 #include <string>
 
 #include "load_scenario.h"
+#include "socket_scenario.h"
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_load.json";
   std::uint64_t seed = 20260729;
   softsched::bench::load_options lopt;
+  softsched::bench::socket_load_options sockopt;
+  bool socket_mode = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -45,13 +55,18 @@ int main(int argc, char** argv) {
         if (lopt.disk_cache_bytes == 0) lopt.disk_cache_bytes = 64ull << 20;
       } else if (arg == "--disk-cache-mb" && i + 1 < argc) {
         lopt.disk_cache_bytes = std::stoull(argv[++i]) << 20;
+      } else if (arg == "--connections" && i + 1 < argc) {
+        socket_mode = true;
+        sockopt.connections = static_cast<unsigned>(std::stoul(argv[++i]));
+        if (sockopt.connections == 0) throw std::invalid_argument(arg);
       } else {
         throw std::invalid_argument(arg);
       }
     }
   } catch (const std::exception&) {
     std::cerr << "usage: load_harness [--quick] [--out PATH] [--seed N] [--jobs N]"
-                 " [--retry] [--cache-dir DIR] [--disk-cache-mb N]\n";
+                 " [--retry] [--cache-dir DIR] [--disk-cache-mb N]"
+                 " [--connections N]\n";
     return 2;
   }
 
@@ -65,8 +80,15 @@ int main(int argc, char** argv) {
   j.begin_object();
   j.member("schema", "softsched-load-v1");
   j.member("seed", seed);
-  j.key("load");
-  const bool ok = softsched::bench::write_load_scenario(j, seed, lopt);
+  bool ok = false;
+  if (socket_mode) {
+    sockopt.jobs = lopt.jobs;
+    j.key("socket");
+    ok = softsched::bench::write_socket_scenario(j, seed, sockopt);
+  } else {
+    j.key("load");
+    ok = softsched::bench::write_load_scenario(j, seed, lopt);
+  }
   j.end_object();
   out << '\n';
   if (!j.done() || !out) {

@@ -38,6 +38,7 @@
 #include "load_scenario.h"
 #include "persist_scenario.h"
 #include "serve_scenario.h"
+#include "socket_scenario.h"
 #include "graph/generators.h"
 #include "ir/benchmarks.h"
 #include "meta/meta_schedule.h"
@@ -448,6 +449,12 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: resident service overload replay...\n";
   j.key("load");
   ok = softsched::bench::write_load_scenario(j, seed) && ok;
+
+  // The same overload replay driven over real unix-socket connections
+  // with connection churn (see socket_scenario.h). Self-gating.
+  std::cerr << "perf_harness: multi-client socket overload replay...\n";
+  j.key("socket");
+  ok = softsched::bench::write_socket_scenario(j, seed) && ok;
 
   // Two-tier persistent cache: cold-populate a disk tier, warm-restart a
   // fresh engine over it, then serve through an injected disk outage (see

@@ -25,6 +25,10 @@ LOWER_IS_BETTER = {
     # name: (tolerance, floor)
     "load.p99_ms": (4.0, 1.0),
     "load.drop_rate": (2.0, 0.1),
+    # Socket p99 includes the kernel socket path and reader-thread wakeups,
+    # so it needs a higher floor than the in-process load scenario.
+    "socket.p99_ms": (4.0, 10.0),
+    "socket.shed_rate": (2.0, 0.1),
     # The recovery scan is sub-ms on the fixed mix; without the floor a
     # 0.2 ms -> 0.9 ms filesystem hiccup would read as a 4x regression.
     "persist.recovery_scan_ms": (4.0, 50.0),
@@ -53,6 +57,9 @@ def metrics(doc):
         "load.p99_ms": s["load"]["p99_ms"],
         "load.drop_rate": s["load"]["drop_rate"],
         "load.goodput_rps": s["load"]["goodput_rps"],
+        "socket.p99_ms": s["socket"]["p99_ms"],
+        "socket.shed_rate": s["socket"]["shed_rate"],
+        "socket.goodput_rps": s["socket"]["goodput_rps"],
         "persist.warm_restart_hit_rate": s["persist"]["warm_restart_hit_rate"],
         "persist.requests_per_sec_warm": s["persist"]["requests_per_sec_warm"],
         "persist.requests_per_sec_degraded": s["persist"][
@@ -134,6 +141,54 @@ def validate(doc, label):
             )
         if isinstance(load.get("slo"), dict) and not load["slo"].get("pass"):
             errors.append(f"{label}: load: scenario's own SLO gate failed")
+    socket = s.get("socket")
+    if not socket:
+        errors.append(f"{label}: missing scenario socket")
+    else:
+        for key in (
+            "connections",
+            "p99_ms",
+            "shed_rate",
+            "goodput_rps",
+            "peak_queue_depth",
+            "queue_capacity",
+            "client",
+            "conns",
+            "slo",
+        ):
+            if key not in socket:
+                errors.append(f"{label}: socket: missing {key}")
+        client = socket.get("client")
+        if isinstance(client, dict) and client.get("reader_errors", 0) != 0:
+            errors.append(
+                f"{label}: socket: {client['reader_errors']} client readers "
+                "died on a framing error instead of a clean EOF"
+            )
+        if "shed_rate" in socket and not 0 <= socket["shed_rate"] <= 1:
+            errors.append(f"{label}: socket: shed_rate outside [0, 1]")
+        if socket.get("goodput_rps", 0) <= 0:
+            errors.append(f"{label}: socket: no goodput under overload")
+        if socket.get("peak_queue_depth", 0) > socket.get("queue_capacity", 0):
+            errors.append(
+                f"{label}: socket: queue depth {socket.get('peak_queue_depth')} "
+                f"exceeded capacity {socket.get('queue_capacity')} - admission "
+                "control is not bounding the queue behind the socket transport"
+            )
+        conns = socket.get("conns")
+        if isinstance(conns, dict):
+            if conns.get("transport_errors", 0) != 0:
+                errors.append(
+                    f"{label}: socket: {conns['transport_errors']} transport "
+                    "errors on well-formed client traffic"
+                )
+            if conns.get("accepted", 0) < socket.get("connections", 0):
+                errors.append(
+                    f"{label}: socket: accepted {conns.get('accepted')} "
+                    f"connections, fewer than the {socket.get('connections')} "
+                    "clients - the accept loop lost clients"
+                )
+        if isinstance(socket.get("slo"), dict) and not socket["slo"].get("pass"):
+            errors.append(f"{label}: socket: scenario's own SLO gate failed")
     persist = s.get("persist")
     if not persist:
         errors.append(f"{label}: missing scenario persist")
@@ -273,6 +328,16 @@ def main():
         f"goodput {load['goodput_rps']:.0f} rps, peak queue "
         f"{load['peak_queue_depth']}/{load['queue_capacity']}, "
         f"slo_pass={load['slo']['pass']}"
+    )
+    socket = fresh["scenarios"]["socket"]
+    print(
+        f"\nsocket: {socket['replay_requests']} requests over "
+        f"{socket['connections']} connections at "
+        f"{socket['overload_factor']:.0f}x sustainable "
+        f"({socket['conns']['accepted']} accepts with churn), "
+        f"p99 {socket['p99_ms']:.2f} ms, shed rate {socket['shed_rate']:.3f}, "
+        f"goodput {socket['goodput_rps']:.0f} rps, "
+        f"slo_pass={socket['slo']['pass']}"
     )
     persist = fresh["scenarios"]["persist"]
     print(

@@ -56,6 +56,37 @@ def minimal_doc():
                 "peak_queue_depth": 64,
                 "slo": {"pass": True},
             },
+            "socket": {
+                "transport": "unix:/tmp/bench.sock",
+                "jobs": 4,
+                "connections": 8,
+                "churn_every": 50,
+                "queue_capacity": 64,
+                "replay_requests": 1200,
+                "overload_factor": 2.0,
+                "sustainable_rps": 100000.0,
+                "target_rps": 200000.0,
+                "p99_ms": 8.0,
+                "shed_rate": 0.2,
+                "goodput_rps": 15000.0,
+                "peak_queue_depth": 64,
+                "client": {
+                    "frames_read": 1200,
+                    "parse_skips": 0,
+                    "control_skips": 0,
+                    "range_skips": 0,
+                    "clean_eofs": 24,
+                    "reader_errors": 0,
+                },
+                "conns": {
+                    "accepted": 24,
+                    "shed": 0,
+                    "closed": 24,
+                    "faulted": 0,
+                    "transport_errors": 0,
+                },
+                "slo": {"pass": True},
+            },
             "persist": {
                 "requests": 400,
                 "catalog": 30,
@@ -359,3 +390,99 @@ def test_ungated_backend_throughput_may_regress(tmp_path):
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 1
     assert "backend.soft_points_per_sec" in result.stdout
+
+
+def test_missing_socket_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["socket"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "socket" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_socket_slo_failure_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["slo"]["pass"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "socket: scenario's own SLO gate failed" in result.stdout
+
+
+def test_socket_queue_depth_over_capacity_fails(tmp_path):
+    # The socket transport must not launder unbounded queueing: the same
+    # admission bound gates behind every transport.
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["peak_queue_depth"] = 65
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "behind the socket transport" in result.stdout
+
+
+def test_socket_reader_errors_fail(tmp_path):
+    # A client reader that died on a framing error (not a clean EOF) means
+    # response frames were silently discarded - the delivery accounting in
+    # the scenario can no longer be trusted.
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["client"]["reader_errors"] = 1
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "reader" in result.stdout
+
+
+def test_socket_missing_client_block_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["socket"]["client"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "client" in result.stdout
+
+
+def test_socket_transport_errors_fail(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["conns"]["transport_errors"] = 2
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "transport" in result.stdout
+
+
+def test_socket_lost_clients_fail(tmp_path):
+    # Fewer accepts than clients means the accept loop dropped someone.
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["conns"]["accepted"] = 5
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "accept loop lost clients" in result.stdout
+
+
+def test_socket_p99_within_floored_tolerance_passes(tmp_path):
+    # The 10 ms floor absorbs scheduler/socket jitter: baseline 8 ms may
+    # drift to 39 ms before the gate cares.
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["p99_ms"] = 39.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_socket_p99_regression_beyond_tolerance_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["p99_ms"] = 41.0  # > max(8, 10) * 4
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "socket.p99_ms" in result.stdout
+    assert "regressed" in result.stdout
+
+
+def test_socket_shed_rate_regression_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["shed_rate"] = 0.9  # > max(0.2, 0.1) * 2
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "socket.shed_rate" in result.stdout
+
+
+def test_socket_goodput_is_informational(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["socket"]["goodput_rps"] = 100.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr

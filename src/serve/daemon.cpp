@@ -1,5 +1,7 @@
 #include "serve/daemon.h"
 
+#include "serve/protocol.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <istream>
@@ -88,6 +90,25 @@ fault_plan fault_plan::parse(std::string_view spec) {
 
     const std::string_view target = segments[0];
     const bool is_io = target.substr(0, 3) == "io=";
+    const bool is_conn = target.substr(0, 5) == "conn=";
+    if (is_conn) {
+      // Connection rules have their own action vocabulary: drop / stall_ms.
+      conn_fault_action action;
+      for (std::size_t a = 1; a < segments.size(); ++a) {
+        const std::string_view part = segments[a];
+        if (part == "drop") {
+          action.drop = true;
+        } else if (part.substr(0, 9) == "stall_ms=") {
+          action.stall_ms = parse_fault_delay(part.substr(9), rule);
+        } else {
+          SOFTSCHED_EXPECT(false, "fault spec: unknown conn action '" + std::string(part) +
+                                      "' in rule '" + std::string(rule) +
+                                      "' (expected drop or stall_ms=<float>)");
+        }
+      }
+      plan.conns[parse_fault_index(target.substr(5), rule)] = action;
+      continue;
+    }
     disk_fault_action action; // superset: slot/shard rules use delay/fail only
     for (std::size_t a = 1; a < segments.size(); ++a) {
       const std::string_view part = segments[a];
@@ -114,7 +135,7 @@ fault_plan fault_plan::parse(std::string_view spec) {
       plan.io.ops[parse_fault_index(target.substr(3), rule)] = action;
     } else {
       SOFTSCHED_EXPECT(false, "fault spec: unknown target '" + std::string(target) +
-                                  "' (expected slot=<n>, shard=<n> or io=<n>)");
+                                  "' (expected slot=<n>, shard=<n>, io=<n> or conn=<n>)");
     }
   }
   return plan;
@@ -427,103 +448,100 @@ std::string render_response(const response& r, bool emit_schedule) {
   return std::move(oss).str();
 }
 
-std::string render_stats(const service_stats& s) {
-  std::ostringstream oss;
-  json_writer j(oss, /*compact=*/true);
-  j.begin_object();
-  j.member("op", "stats");
-  j.member("uptime_ms", s.uptime_ms);
-  j.member("qps", s.qps);
-  j.member("p50_ms", s.p50_ms);
-  j.member("p95_ms", s.p95_ms);
-  j.member("p99_ms", s.p99_ms);
-  j.member("queue_depth", s.queue_depth);
-  j.member("peak_queue_depth", s.peak_queue_depth);
-  j.member("hit_rate", s.hit_rate);
-  j.member("submitted", s.submitted);
-  j.member("admitted", s.admitted);
-  j.member("overloaded", s.overloaded);
-  j.member("completed", s.completed);
-  j.member("errors", s.errors);
-  j.member("computed", s.computed);
-  j.member("cache_hits", s.cache_hits);
-  j.member("deduped", s.deduped);
-  j.key("disk");
-  j.begin_object();
-  j.member("enabled", s.disk_enabled);
-  j.member("degraded", s.disk_degraded);
-  j.member("hits", s.disk_hits);
-  j.member("misses", s.disk_misses);
-  j.member("writes", s.disk_writes);
-  j.member("evictions", s.disk_evictions);
-  j.member("corrupt_dropped", s.disk_corrupt_dropped);
-  j.member("io_errors", s.disk_io_errors);
-  j.member("queue_dropped", s.disk_queue_dropped);
-  j.member("flushed", s.disk_flushed);
-  j.member("entries", s.disk_entries);
-  j.member("bytes", s.disk_bytes);
-  j.member("recovery_scan_ms", s.disk_recovery_scan_ms);
-  j.member("recovered_entries", s.disk_recovered_entries);
-  j.end_object();
-  j.end_object();
-  return std::move(oss).str();
-}
-
 /// Serializes response frames either immediately (streaming) or through a
 /// reorder buffer that releases strictly by sequence number (input-order
 /// mode). Control frames (stats, transport errors, the shutdown ack)
 /// always bypass the reorder buffer - they answer "now", not "in turn".
+/// A failed write (peer gone) is sticky: subsequent frames are counted as
+/// produced but silently discarded, so workers finishing after the client
+/// died still complete and the connection still drains.
 struct frame_writer {
-  frame_writer(std::ostream& o, bool order_responses) : out(o), ordered(order_responses) {}
+  frame_writer(byte_stream& o, bool order_responses) : out(o), ordered(order_responses) {}
 
-  std::ostream& out;
+  byte_stream& out;
   bool ordered;
   std::mutex mutex;
   std::uint64_t next_seq = 1;
   std::map<std::uint64_t, std::string> held;
   std::uint64_t written = 0;
+  bool failed = false;
+
+  void send(std::string_view payload) {
+    if (!failed && !write_frame(out, payload)) failed = true;
+    ++written;
+  }
 
   void emit(std::uint64_t seq, std::string payload) {
     const std::lock_guard<std::mutex> lock(mutex);
     if (!ordered) {
-      write_frame(out, payload);
-      ++written;
+      send(payload);
       return;
     }
     held.emplace(seq, std::move(payload));
     while (!held.empty() && held.begin()->first == next_seq) {
-      write_frame(out, held.begin()->second);
+      send(held.begin()->second);
       held.erase(held.begin());
       ++next_seq;
-      ++written;
     }
   }
 
   void control(std::string_view payload) {
     const std::lock_guard<std::mutex> lock(mutex);
-    write_frame(out, payload);
-    ++written;
+    send(payload);
+  }
+};
+
+/// Per-connection drain: serve_connection must wait for *its own* admitted
+/// requests only, so one dead or slow connection can never make another
+/// connection's drain wait on it (service::drain() is global). Incremented
+/// before submit, decremented by the completion callback (or by the
+/// submitter itself when the request was shed and the callback will never
+/// fire).
+struct pending_gate {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t outstanding = 0;
+
+  void arm() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++outstanding;
+  }
+  void disarm() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      --outstanding;
+    }
+    done.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return outstanding == 0; });
   }
 };
 
 } // namespace
 
-daemon_summary run_daemon(std::istream& in, std::ostream& out,
-                          const daemon_options& options) {
-  daemon_summary summary;
-  frame_writer writer(out, options.ordered);
-  service svc(options.service);
-  const bool emit_schedule = options.service.emit_schedule;
+connection_summary serve_connection(byte_stream& stream, service& svc,
+                                    const connection_options& options,
+                                    connection_counters* counters) {
+  connection_summary summary;
+  frame_writer writer(stream, options.ordered);
+  pending_gate pending;
+  const bool emit_schedule = options.emit_schedule;
   std::uint64_t seq = 0;
 
   for (;;) {
-    frame_read frame = read_frame(in, options.limits);
+    frame_read frame = read_frame(stream, options.limits);
     if (frame.status == frame_status::eof) break;
     if (frame.status == frame_status::error) {
-      // Framing is unrecoverable - after a malformed frame we no longer
-      // know where the next one starts, so resynchronizing silently would
-      // risk misattributing payloads. Answer once, stop reading, drain.
-      summary.transport_error = true;
+      // Framing is unrecoverable on this stream - after a malformed frame
+      // we no longer know where the next one starts, so resynchronizing
+      // silently would risk misattributing payloads. Answer once, stop
+      // reading *this connection*, drain it, close. Other connections on
+      // the same service are untouched.
+      summary.end = connection_end::transport_error;
+      if (counters != nullptr)
+        counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
       response r;
       r.id = "transport";
       r.error = frame.error;
@@ -532,63 +550,100 @@ daemon_summary run_daemon(std::istream& in, std::ostream& out,
     }
     ++summary.frames;
 
-    // Control sniff: requests never carry "op" (the request schema rejects
-    // unknown keys), so an object with a string "op" member is a control
-    // frame. Anything unparseable goes to the service, whose strict parser
-    // owns the error response.
-    std::string op;
-    bool is_control = false;
-    try {
-      const json_value v = parse_json(frame.payload);
-      if (const json_value* member = v.find("op"); member != nullptr && member->is_string()) {
-        is_control = true;
-        op = member->as_string();
+    const control_frame control = classify_control(frame.payload);
+    if (control.kind != control_kind::none) {
+      switch (control.kind) {
+      case control_kind::hello:
+        writer.control(render_hello());
+        break;
+      case control_kind::stats: {
+        connection_counters_snapshot conns =
+            counters != nullptr ? snapshot(*counters) : connection_counters_snapshot{};
+        connection_view self;
+        self.frames = summary.frames;
+        self.requests = summary.requests;
+        self.bytes_in = stream.bytes_in();
+        self.bytes_out = stream.bytes_out();
+        self.transport = stream.label();
+        // This connection's bytes fold into the aggregate only at close;
+        // count the live ones so stats never under-reports the asker.
+        conns.bytes_in += self.bytes_in;
+        conns.bytes_out += self.bytes_out;
+        writer.control(render_stats(svc.stats(), conns, self));
+        break;
       }
-    } catch (const json_error&) {
-    }
-    if (is_control) {
-      if (op == "stats") {
-        writer.control(render_stats(svc.stats()));
-      } else if (op == "shutdown") {
-        summary.shutdown_requested = true;
-        break; // drain below; the ack is the daemon's final frame
-      } else {
-        response r;
-        r.id = "control";
-        r.error = "unknown op: " + op;
-        writer.control(render_response(r, emit_schedule));
+      case control_kind::shutdown:
+        summary.end = connection_end::shutdown_op;
+        break; // drain below; the ack is this connection's final frame
+      default:
+        writer.control(render_unknown_op(control));
+        break;
       }
+      if (summary.end == connection_end::shutdown_op) break;
       continue;
     }
 
     const std::uint64_t this_seq = ++seq;
     ++summary.requests;
-    const bool admitted =
-        svc.submit(this_seq, std::move(frame.payload), [&writer, emit_schedule](response r) {
+    pending.arm();
+    const bool admitted = svc.submit(
+        this_seq, std::move(frame.payload),
+        [&writer, &pending, emit_schedule](response r) {
           writer.emit(r.line, render_response(r, emit_schedule));
+          pending.disarm();
         });
-    if (!admitted)
+    if (!admitted) {
+      pending.disarm();
       writer.emit(this_seq, render_response(svc.overloaded_response(this_seq), emit_schedule));
+    }
   }
 
-  // Graceful drain: every admitted request answers before the daemon
-  // returns, whatever ended the read loop (EOF, shutdown, transport error),
-  // and the write-behind queue is flushed to disk before the final frame -
-  // a clean stop never loses warm entries.
-  svc.drain();
+  // Graceful drain: every request admitted on this connection answers
+  // before it closes, whatever ended the read loop (EOF, shutdown,
+  // transport error), and the write-behind queue is flushed to disk before
+  // the final frame - a closing connection never strands warm entries.
+  pending.wait();
   const std::size_t flushed = svc.flush_disk();
-  if (summary.shutdown_requested) {
-    std::ostringstream oss;
-    json_writer j(oss, /*compact=*/true);
-    j.begin_object();
-    j.member("op", "shutdown");
-    j.member("drained", true);
-    j.member("flushed", flushed);
-    j.end_object();
-    writer.control(std::move(oss).str());
-  }
-  summary.stats = svc.stats();
+  if (summary.end == connection_end::shutdown_op)
+    writer.control(render_shutdown_ack(flushed));
   summary.responses = writer.written;
+  summary.write_failed = writer.failed;
+  if (counters != nullptr) {
+    counters->bytes_in.fetch_add(stream.bytes_in(), std::memory_order_relaxed);
+    counters->bytes_out.fetch_add(stream.bytes_out(), std::memory_order_relaxed);
+  }
+  return summary;
+}
+
+daemon_summary run_daemon(std::istream& in, std::ostream& out,
+                          const daemon_options& options) {
+  daemon_summary summary;
+  service svc(options.service);
+  iostream_byte_stream stream(&in, &out);
+  connection_counters counters;
+  counters.transport = "stdio";
+  counters.accepted.store(1, std::memory_order_relaxed);
+  counters.active.store(1, std::memory_order_relaxed);
+
+  connection_options copt;
+  copt.ordered = options.ordered;
+  copt.emit_schedule = options.service.emit_schedule;
+  copt.limits = options.limits;
+  const connection_summary conn = serve_connection(stream, svc, copt, &counters);
+  // The connection gate releases when the last callback returns; the
+  // service-level drain additionally orders the counter updates behind it,
+  // so summary.stats below is a settled snapshot.
+  svc.drain();
+
+  counters.active.store(0, std::memory_order_relaxed);
+  counters.closed.store(1, std::memory_order_relaxed);
+  summary.frames = conn.frames;
+  summary.requests = conn.requests;
+  summary.responses = conn.responses;
+  summary.shutdown_requested = conn.end == connection_end::shutdown_op;
+  summary.transport_error = conn.end == connection_end::transport_error;
+  summary.stats = svc.stats();
+  summary.conns = snapshot(counters);
   return summary;
 }
 

@@ -68,13 +68,20 @@ struct fault_action {
   bool fail = false;
 };
 
+/// What a `conn=<n>` rule does to the Nth accepted connection: stall it
+/// before serving, drop it at accept, or both (stall first, then drop).
+struct conn_fault_action {
+  double stall_ms = 0;
+  bool drop = false;
+};
+
 /// Deterministic fault-injection plan for the serve layer. Spec grammar
 /// (the SOFTSCHED_INJECT value): comma-separated rules, each
 /// `<target>:<action>[:<action>...]` with targets `slot=<n>` / `shard=<n>`
-/// / `io=<n>` and actions `delay_ms=<float>` / `fail` / `torn` (io only),
-/// e.g.
+/// / `io=<n>` / `conn=<n>` and actions `delay_ms=<float>` / `fail` /
+/// `torn` (io only) / `stall_ms=<float>` / `drop` (conn only), e.g.
 ///
-///   SOFTSCHED_INJECT="slot=0:delay_ms=5,shard=3:fail,io=2:torn"
+///   SOFTSCHED_INJECT="slot=0:delay_ms=5,shard=3:fail,io=2:torn,conn=2:drop"
 ///
 /// A failed worker slot turns its requests into `"error":"injected fault:
 /// worker slot <n>"` responses; a failed cache shard is unavailable (its
@@ -85,13 +92,19 @@ struct fault_action {
 /// a prefix while reporting success (the power-loss shape), and `delay_ms`
 /// stalls the operation - under the flusher mutex, which is how the CI
 /// kill-mid-write-behind leg pins its SIGKILL to a deterministic point.
+/// A `conn=<n>` rule targets the Nth connection a socket listener accepts
+/// (1-based, counting shed connections too): `drop` closes it without
+/// reading a byte (the mid-flight client-death shape, server side) and
+/// `stall_ms` parks it before its first read while it holds an active
+/// slot - which is how tests pin the --max-conns shed boundary.
 struct fault_plan {
   std::unordered_map<unsigned, fault_action> slots;
   std::unordered_map<unsigned, fault_action> shards;
+  std::unordered_map<unsigned, conn_fault_action> conns;
   disk_fault_plan io; ///< forwarded to the disk tier (serve/diskcache.h)
 
   [[nodiscard]] bool empty() const noexcept {
-    return slots.empty() && shards.empty() && io.empty();
+    return slots.empty() && shards.empty() && conns.empty() && io.empty();
   }
 
   /// Parses a spec string; throws precondition_error on grammar errors
@@ -226,12 +239,57 @@ private:
       flights_;
 };
 
+/// Everything the daemon front-end needs beyond the service core - the one
+/// parsed struct the CLI flag surface (--serve-queue, --serve-ordered,
+/// --listen, --max-conns, cache flags) collapses into. Built and validated
+/// exclusively by serve/options.h, so CLI and tests share one error path.
 struct daemon_options {
   service_options service;
   bool ordered = false; ///< input-order responses (PR-4 determinism contract)
                         ///< instead of streaming-as-completed
   frame_limits limits;
+  std::size_t max_connections = 64; ///< socket front-ends: accepted-but-open
+                                    ///< bound; beyond it connections shed
 };
+
+// ---------------------------------------------------------------------------
+// The shared connection loop: one framed client session over any transport.
+
+/// How a connection ended.
+enum class connection_end {
+  eof,            ///< clean EOF at a frame boundary
+  shutdown_op,    ///< {"op":"shutdown"}: drained, acked, stopped
+  transport_error ///< malformed frame: answered once, drained, closed
+};
+
+/// Knobs of one connection (a slice of daemon_options).
+struct connection_options {
+  bool ordered = false;
+  bool emit_schedule = true;
+  frame_limits limits;
+};
+
+/// Per-connection accounting.
+struct connection_summary {
+  connection_end end = connection_end::eof;
+  std::uint64_t frames = 0;    ///< well-formed frames read (incl. control)
+  std::uint64_t requests = 0;  ///< frames submitted to the service
+  std::uint64_t responses = 0; ///< response frames written (incl. shed)
+  bool write_failed = false;   ///< the peer vanished mid-conversation
+};
+
+/// Serves one client over `stream` against a shared service: reads frames,
+/// answers control ops (hello / stats / shutdown - serve/protocol.h),
+/// submits everything else, and writes response frames either streaming or
+/// in input order. Always drains *this connection's* admitted requests
+/// before returning - a transport error or dead peer here never stalls or
+/// aborts other connections on the same service - and flushes the disk
+/// tier's write-behind queue so a closing connection never strands warm
+/// entries. `counters`, when given, receives this connection's closing
+/// byte totals and feeds the {"op":"stats"} "conns" object.
+connection_summary serve_connection(byte_stream& stream, service& svc,
+                                    const connection_options& options,
+                                    connection_counters* counters = nullptr);
 
 /// Per-run accounting of one daemon session.
 struct daemon_summary {
@@ -241,11 +299,15 @@ struct daemon_summary {
   bool shutdown_requested = false; ///< ended by {"op":"shutdown"}
   bool transport_error = false;    ///< ended by a malformed frame
   service_stats stats;             ///< final service counters
+  connection_counters_snapshot conns; ///< transport-level totals
 };
 
 /// Runs the resident daemon over framed streams until EOF, a shutdown op,
 /// or a transport error - always draining admitted work before returning.
-/// Wire protocol: docs/SERVING.md §"Resident daemon".
+/// A thin adapter: wraps the streams in an iostream_byte_stream and runs
+/// serve_connection over a fresh service. Socket transports run the same
+/// loop per accepted connection (serve/socket.h). Wire protocol:
+/// docs/SERVING.md §"Wire protocol".
 daemon_summary run_daemon(std::istream& in, std::ostream& out,
                           const daemon_options& options = {});
 

@@ -1,0 +1,51 @@
+#include "serve/options.h"
+
+#include "util/check.h"
+
+namespace softsched::serve {
+
+void validate_serve_flags(const serve_flags& flags) {
+  SOFTSCHED_EXPECT(flags.cache_mb >= 0, "--cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(flags.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
+  SOFTSCHED_EXPECT(flags.serve_batch_size >= 0, "--serve-batch-size must be >= 0");
+  SOFTSCHED_EXPECT(flags.serve_queue >= 1, "--serve-queue must be >= 1");
+  SOFTSCHED_EXPECT(flags.max_conns >= 1, "--max-conns must be >= 1");
+  (void)listen_spec::parse(flags.listen); // throws on a malformed spec
+}
+
+listen_spec listen_from_flags(const serve_flags& flags) {
+  validate_serve_flags(flags);
+  return listen_spec::parse(flags.listen);
+}
+
+engine_options engine_options_from_flags(const serve_flags& flags) {
+  validate_serve_flags(flags);
+  engine_options opt;
+  opt.jobs = flags.jobs;
+  opt.cache_bytes = static_cast<std::size_t>(flags.cache_mb) << 20;
+  opt.batch_size = static_cast<std::size_t>(flags.serve_batch_size);
+  opt.emit_schedule = !flags.serve_compact;
+  opt.cache_dir = flags.cache_dir;
+  opt.disk_cache_bytes = static_cast<std::size_t>(flags.disk_cache_mb) << 20;
+  // Only the io= family applies to the batch engine (slot/shard/conn
+  // target the daemon); it is consumed exclusively by the disk tier.
+  opt.disk_faults = fault_plan::from_env().io;
+  return opt;
+}
+
+daemon_options daemon_options_from_flags(const serve_flags& flags) {
+  validate_serve_flags(flags);
+  daemon_options opt;
+  opt.service.jobs = flags.jobs;
+  opt.service.cache_bytes = static_cast<std::size_t>(flags.cache_mb) << 20;
+  opt.service.queue_capacity = static_cast<std::size_t>(flags.serve_queue);
+  opt.service.emit_schedule = !flags.serve_compact;
+  opt.service.faults = fault_plan::from_env();
+  opt.service.cache_dir = flags.cache_dir;
+  opt.service.disk_cache_bytes = static_cast<std::size_t>(flags.disk_cache_mb) << 20;
+  opt.ordered = flags.serve_ordered;
+  opt.max_connections = static_cast<std::size_t>(flags.max_conns);
+  return opt;
+}
+
+} // namespace softsched::serve

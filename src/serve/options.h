@@ -1,0 +1,53 @@
+// options.h - the one place the serving flag surface is parsed and
+// validated. The CLI grew three copies of "turn serve flags into an
+// options struct, each with its own range checks" (batch engine, stdio
+// daemon, and now socket daemon); this header collapses them: the CLI
+// fills a serve_flags with raw flag values and everything downstream -
+// engine_options, daemon_options, the listen spec - is derived here,
+// behind a single validation/error path (validate_serve_flags) shared by
+// the CLI and the tests that pin its error messages. New transport flags
+// land here once, not once per mode.
+#pragma once
+
+#include <string>
+
+#include "serve/daemon.h"
+#include "serve/engine.h"
+#include "serve/socket.h"
+
+namespace softsched::serve {
+
+/// Raw values of every serving-related CLI flag, exactly as typed
+/// (defaults = flag defaults). docs/SERVING.md documents the surface.
+struct serve_flags {
+  int jobs = 0;               ///< --jobs (0 = hardware)
+  int cache_mb = 64;          ///< --cache-mb
+  int serve_batch_size = 64;  ///< --serve-batch-size (batch engine only)
+  int serve_queue = 256;      ///< --serve-queue (daemon only)
+  int disk_cache_mb = 0;      ///< --disk-cache-mb (0 = disk tier off)
+  int max_conns = 64;         ///< --max-conns (socket transports only)
+  bool serve_ordered = false; ///< --serve-ordered
+  bool serve_compact = false; ///< --serve-compact
+  std::string cache_dir;      ///< --cache-dir (empty = disk tier off)
+  std::string listen = "stdio"; ///< --listen (stdio | tcp:HOST:PORT | unix:PATH)
+};
+
+/// The single error path: throws precondition_error naming the offending
+/// flag for any out-of-range value or malformed --listen spec. Both
+/// derivation functions below call it, so callers may rely on "derived
+/// options are validated options".
+void validate_serve_flags(const serve_flags& flags);
+
+/// --listen, parsed (and validated as part of validate_serve_flags).
+[[nodiscard]] listen_spec listen_from_flags(const serve_flags& flags);
+
+/// Batch-engine options (--serve-batch). SOFTSCHED_INJECT is consumed
+/// here: only its io= family applies to the batch engine.
+[[nodiscard]] engine_options engine_options_from_flags(const serve_flags& flags);
+
+/// Daemon options (--serve), transport-independent: service knobs,
+/// ordering, frame limits, the --max-conns bound. SOFTSCHED_INJECT is
+/// consumed here in full (slot/shard/io/conn).
+[[nodiscard]] daemon_options daemon_options_from_flags(const serve_flags& flags);
+
+} // namespace softsched::serve

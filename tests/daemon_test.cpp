@@ -3,8 +3,11 @@
 // streaming vs input-order response parity (and parity with the batch
 // engine), stats-counter consistency under concurrent clients, graceful
 // drain, the lock-light latency histogram against a sorted-vector oracle,
-// and the SOFTSCHED_INJECT fault plan (grammar + slot/shard injection
-// semantics).
+// the SOFTSCHED_INJECT fault plan (grammar + slot/shard/conn injection
+// semantics), the --listen/--serve flag surface (serve/options.h), and the
+// socket transports: stdio/tcp/unix response parity, hello negotiation,
+// the --max-conns shed boundary, cross-connection dedup, and dead-client
+// isolation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +15,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <regex>
 #include <sstream>
@@ -22,6 +26,9 @@
 #include "serve/daemon.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
+#include "serve/options.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
 #include "serve/transport.h"
 #include "util/check.h"
 #include "util/json_parse.h"
@@ -690,9 +697,13 @@ TEST(ServeDaemon, UnknownOpIsAnErrorFrameNotAShutdown) {
   EXPECT_EQ(summary.requests, 1u);
   const std::vector<std::string> payloads = unframed(out.str());
   ASSERT_EQ(payloads.size(), 2u);
+  // The versioned protocol answers a *structured* error: stable error
+  // code, the offending op echoed, the wire version for clients to match.
   const json_value err = parse_json(payloads[0]);
   EXPECT_EQ(err.find("id")->as_string(), "control");
-  EXPECT_EQ(err.find("error")->as_string(), "unknown op: restart");
+  EXPECT_EQ(err.find("error")->as_string(), "unknown_op");
+  EXPECT_EQ(err.find("op")->as_string(), "restart");
+  EXPECT_EQ(err.find("v")->as_number(), sv::wire_version);
   EXPECT_TRUE(parse_json(payloads[1]).find("feasible")->as_bool());
 }
 
@@ -756,4 +767,417 @@ TEST(ServeDaemon, OverloadShedsWithOverloadedFramesInOrder) {
   }
   EXPECT_EQ(shed, summary.stats.overloaded);
   EXPECT_EQ(shed + summary.stats.completed, 8u);
+}
+
+// -- listen spec + flag surface (serve/options.h) ---------------------------
+
+TEST(ListenSpec, ParsesStdioTcpAndUnixForms) {
+  EXPECT_EQ(sv::listen_spec::parse("stdio").kind, sv::listen_spec::transport::stdio);
+  const sv::listen_spec tcp = sv::listen_spec::parse("tcp:127.0.0.1:8901");
+  EXPECT_EQ(tcp.kind, sv::listen_spec::transport::tcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 8901);
+  EXPECT_EQ(tcp.label(), "tcp:127.0.0.1:8901");
+  const sv::listen_spec ux = sv::listen_spec::parse("unix:/tmp/softsched.sock");
+  EXPECT_EQ(ux.kind, sv::listen_spec::transport::unix_domain);
+  EXPECT_EQ(ux.path, "/tmp/softsched.sock");
+  EXPECT_EQ(ux.label(), "unix:/tmp/softsched.sock");
+}
+
+TEST(ListenSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "tcp:", "tcp:127.0.0.1", "tcp::80", "tcp:host:",
+                          "tcp:host:notaport", "tcp:host:70000", "unix:",
+                          "pipe:/tmp/x"})
+    EXPECT_THROW((void)sv::listen_spec::parse(bad), precondition_error) << bad;
+}
+
+TEST(ServeFlags, ValidationIsOneSharedErrorPath) {
+  const sv::serve_flags good;
+  EXPECT_NO_THROW(sv::validate_serve_flags(good));
+  sv::serve_flags f = good;
+  f.max_conns = 0;
+  EXPECT_THROW(sv::validate_serve_flags(f), precondition_error);
+  f = good;
+  f.serve_queue = 0;
+  EXPECT_THROW(sv::validate_serve_flags(f), precondition_error);
+  f = good;
+  f.cache_mb = -1;
+  EXPECT_THROW(sv::validate_serve_flags(f), precondition_error);
+  f = good;
+  f.disk_cache_mb = -1;
+  EXPECT_THROW(sv::validate_serve_flags(f), precondition_error);
+  f = good;
+  f.listen = "carrier-pigeon"; // the same path rejects a malformed --listen
+  EXPECT_THROW(sv::validate_serve_flags(f), precondition_error);
+}
+
+TEST(ServeFlags, MapIntoEngineAndDaemonOptions) {
+  sv::serve_flags f;
+  f.jobs = 3;
+  f.cache_mb = 8;
+  f.serve_queue = 32;
+  f.serve_ordered = true;
+  f.serve_compact = true;
+  f.max_conns = 5;
+  f.listen = "unix:/tmp/softsched-flags.sock";
+  const sv::daemon_options d = sv::daemon_options_from_flags(f);
+  EXPECT_EQ(d.service.jobs, 3);
+  EXPECT_EQ(d.service.cache_bytes, 8u << 20);
+  EXPECT_EQ(d.service.queue_capacity, 32u);
+  EXPECT_FALSE(d.service.emit_schedule);
+  EXPECT_TRUE(d.ordered);
+  EXPECT_EQ(d.max_connections, 5u);
+  EXPECT_EQ(sv::listen_from_flags(f).path, "/tmp/softsched-flags.sock");
+  const sv::engine_options e = sv::engine_options_from_flags(f);
+  EXPECT_EQ(e.cache_bytes, 8u << 20);
+  EXPECT_FALSE(e.emit_schedule);
+  EXPECT_EQ(e.jobs, 3);
+}
+
+// -- conn= fault grammar ----------------------------------------------------
+
+TEST(FaultPlan, ParsesConnRules) {
+  const sv::fault_plan p =
+      sv::fault_plan::parse("conn=2:drop,conn=5:stall_ms=12.5,slot=0:delay_ms=1");
+  ASSERT_EQ(p.conns.size(), 2u);
+  EXPECT_TRUE(p.conns.at(2).drop);
+  EXPECT_EQ(p.conns.at(2).stall_ms, 0);
+  EXPECT_FALSE(p.conns.at(5).drop);
+  EXPECT_EQ(p.conns.at(5).stall_ms, 12.5);
+  EXPECT_EQ(p.slots.at(0).delay_ms, 1);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, RejectsConnActionMismatches) {
+  // conn actions stay on conn targets, slot/shard actions on theirs.
+  EXPECT_THROW((void)sv::fault_plan::parse("conn=1:fail"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("conn=1:torn"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("conn=1:delay_ms=5"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("slot=1:drop"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("shard=1:stall_ms=5"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("conn=1:stall_ms=abc"), precondition_error);
+  EXPECT_THROW((void)sv::fault_plan::parse("conn=x:drop"), precondition_error);
+}
+
+// -- socket transports ------------------------------------------------------
+
+namespace {
+
+/// A per-test unix-socket path under gtest's temp dir.
+std::string unix_sock(const std::string& name) {
+  return ::testing::TempDir() + "softsched_" + name + ".sock";
+}
+
+/// One in-process socket daemon: listener + shared service + accept loop on
+/// a background thread, stopped and joined on destruction.
+struct socket_daemon {
+  std::unique_ptr<sv::listener> lis;
+  sv::service svc;
+  sv::socket_server server;
+  std::thread runner;
+  sv::socket_server_summary summary;
+
+  socket_daemon(const sv::listen_spec& spec, const sv::service_options& sopt,
+                const sv::socket_server_options& opt = {})
+      : lis(sv::make_listener(spec)),
+        svc(sopt),
+        server(*lis, svc, opt),
+        runner([this] { summary = server.run(); }) {}
+
+  ~socket_daemon() {
+    server.stop();
+    if (runner.joinable()) runner.join();
+  }
+
+  /// The bound address (tcp:HOST:0 resolved to the kernel's port).
+  [[nodiscard]] sv::listen_spec address() const {
+    return sv::listen_spec::parse(lis->address());
+  }
+
+  /// Stops the accept loop and hands back its summed summary.
+  sv::socket_server_summary finish() {
+    server.stop();
+    if (runner.joinable()) runner.join();
+    return summary;
+  }
+};
+
+/// Connects to `spec`, retrying briefly.
+std::unique_ptr<sv::byte_stream> connect_client(const sv::listen_spec& spec) {
+  for (int i = 0; i < 200; ++i) {
+    if (auto s = sv::connect_stream(spec)) return s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return nullptr;
+}
+
+/// Decodes response frames until EOF (the server half-closes after drain).
+std::vector<std::string> read_to_eof(sv::byte_stream& s) {
+  std::vector<std::string> payloads;
+  for (;;) {
+    const sv::frame_read f = sv::read_frame(s);
+    if (f.status != sv::frame_status::ok) {
+      EXPECT_EQ(f.status, sv::frame_status::eof) << f.error;
+      break;
+    }
+    payloads.push_back(f.payload);
+  }
+  return payloads;
+}
+
+/// Sends every line, half-closes the write side (the socket sibling of
+/// stdin EOF), and reads every response frame.
+std::vector<std::string> socket_round_trip(sv::byte_stream& s,
+                                           const std::vector<std::string>& lines) {
+  for (const std::string& l : lines) EXPECT_TRUE(sv::write_frame(s, l));
+  s.finish_write();
+  return read_to_eof(s);
+}
+
+} // namespace
+
+TEST(SocketDaemon, TcpAndUnixMatchStdioByteForByte) {
+  const std::vector<std::string> lines = {
+      R"({"id":"a","bench":"ewf"})",
+      R"({"id":"b","bench":"hal"})",
+      R"({"id":"c","bench":"fig1"})",
+  };
+  // The stdio reference run, ordered so response order is deterministic.
+  std::istringstream in(framed(lines));
+  std::ostringstream out;
+  sv::daemon_options dopt;
+  dopt.service.jobs = 2;
+  dopt.ordered = true;
+  (void)sv::run_daemon(in, out, dopt);
+  std::vector<std::string> want = unframed(out.str());
+  for (std::string& p : want) p = strip_ms(p);
+  ASSERT_EQ(want.size(), lines.size());
+
+  sv::socket_server_options opt;
+  opt.connection.ordered = true;
+  const std::vector<sv::listen_spec> binds = {
+      sv::listen_spec::parse("unix:" + unix_sock("parity")),
+      sv::listen_spec::parse("tcp:127.0.0.1:0"),
+  };
+  for (const sv::listen_spec& bind : binds) {
+    socket_daemon daemon(bind, dopt.service, opt);
+    const sv::listen_spec addr = daemon.address();
+    if (bind.kind == sv::listen_spec::transport::tcp) {
+      EXPECT_NE(addr.port, 0); // ephemeral port resolved at bind
+    }
+    const std::unique_ptr<sv::byte_stream> client = connect_client(addr);
+    ASSERT_NE(client, nullptr) << addr.label();
+    std::vector<std::string> got = socket_round_trip(*client, lines);
+    for (std::string& p : got) p = strip_ms(p);
+    EXPECT_EQ(got, want) << addr.label();
+    const sv::socket_server_summary s = daemon.finish();
+    EXPECT_EQ(s.conns.accepted, 1u);
+    EXPECT_EQ(s.conns.closed, 1u);
+    EXPECT_EQ(s.requests, lines.size());
+    EXPECT_GT(s.conns.bytes_in, 0u);
+    EXPECT_GT(s.conns.bytes_out, 0u);
+  }
+}
+
+TEST(SocketDaemon, HelloNegotiatesVersionTransportsAndCaps) {
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("hello"));
+  sv::service_options sopt;
+  sopt.jobs = 1;
+  socket_daemon daemon(spec, sopt);
+  const std::unique_ptr<sv::byte_stream> client = connect_client(spec);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(sv::write_frame(*client, R"({"op":"hello"})"));
+  const sv::frame_read hello = sv::read_frame(*client);
+  ASSERT_EQ(hello.status, sv::frame_status::ok) << hello.error;
+  EXPECT_EQ(hello.payload, sv::render_hello()); // renderer IS the wire
+  const json_value v = parse_json(hello.payload);
+  EXPECT_EQ(v.find("op")->as_string(), "hello");
+  EXPECT_EQ(v.find("v")->as_number(), sv::wire_version);
+  std::vector<std::string> transports;
+  for (const json_value& t : v.find("transports")->items())
+    transports.push_back(t.as_string());
+  EXPECT_EQ(transports, (std::vector<std::string>{"stdio", "tcp", "unix"}));
+  std::vector<std::string> caps;
+  for (const json_value& c : v.find("caps")->items()) caps.push_back(c.as_string());
+  for (const char* cap : {"hello", "stats", "shutdown", "shed", "dedup"})
+    EXPECT_NE(std::find(caps.begin(), caps.end(), cap), caps.end()) << cap;
+  // A shutdown from this connection stops the whole server.
+  ASSERT_TRUE(sv::write_frame(*client, R"({"op":"shutdown"})"));
+  const std::vector<std::string> rest = read_to_eof(*client);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], sv::render_shutdown_ack(0));
+  const sv::socket_server_summary s = daemon.finish();
+  EXPECT_TRUE(s.shutdown_requested);
+}
+
+TEST(SocketDaemon, StatsReportsConnectionAggregateAndSelf) {
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("stats"));
+  sv::service_options sopt;
+  sopt.jobs = 1;
+  socket_daemon daemon(spec, sopt);
+  const std::unique_ptr<sv::byte_stream> client = connect_client(spec);
+  ASSERT_NE(client, nullptr);
+  const std::vector<std::string> payloads = socket_round_trip(
+      *client, {R"({"bench":"fig1"})", R"({"op":"stats"})"});
+  ASSERT_EQ(payloads.size(), 2u);
+  const json_value* stats = nullptr;
+  std::vector<json_value> docs;
+  for (const std::string& p : payloads) docs.push_back(parse_json(p));
+  for (const json_value& d : docs)
+    if (const json_value* op = d.find("op");
+        op != nullptr && op->is_string() && op->as_string() == "stats")
+      stats = &d;
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("v")->as_number(), sv::wire_version);
+  const json_value* conns = stats->find("conns");
+  ASSERT_NE(conns, nullptr);
+  EXPECT_EQ(conns->find("transport")->as_string(), spec.label());
+  EXPECT_EQ(conns->find("accepted")->as_integer(0, 100), 1);
+  EXPECT_EQ(conns->find("active")->as_integer(0, 100), 1);
+  EXPECT_GT(conns->find("bytes_in")->as_number(), 0); // live bytes included
+  const json_value* self = stats->find("conn");
+  ASSERT_NE(self, nullptr);
+  EXPECT_EQ(self->find("frames")->as_integer(0, 100), 2);
+  EXPECT_EQ(self->find("requests")->as_integer(0, 100), 1);
+  EXPECT_FALSE(self->find("transport")->as_string().empty());
+}
+
+TEST(SocketDaemon, ConnectionLimitShedsBeyondMaxConns) {
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("shed"));
+  sv::service_options sopt;
+  sopt.jobs = 1;
+  // conn=1 stalls before its first read while holding the only slot - the
+  // deterministic pin for the shed boundary.
+  sopt.faults = sv::fault_plan::parse("conn=1:stall_ms=250");
+  sv::socket_server_options opt;
+  opt.max_connections = 1;
+  opt.retry_after_ms = 7;
+  socket_daemon daemon(spec, sopt, opt);
+  const std::unique_ptr<sv::byte_stream> first = connect_client(spec);
+  ASSERT_NE(first, nullptr);
+  const std::unique_ptr<sv::byte_stream> second = connect_client(spec);
+  ASSERT_NE(second, nullptr);
+  // The connection beyond the bound: one framed shed answer, then close.
+  const sv::frame_read shed = sv::read_frame(*second);
+  ASSERT_EQ(shed.status, sv::frame_status::ok) << shed.error;
+  EXPECT_EQ(shed.payload, sv::render_connection_shed(7));
+  const json_value v = parse_json(shed.payload);
+  EXPECT_EQ(v.find("error")->as_string(), "too_many_connections");
+  EXPECT_EQ(v.find("retry_after_ms")->as_number(), 7);
+  EXPECT_EQ(sv::read_frame(*second).status, sv::frame_status::eof);
+  // The stalled connection is degraded, not broken: it still serves.
+  const std::vector<std::string> served =
+      socket_round_trip(*first, {R"({"bench":"fig1"})"});
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_TRUE(parse_json(served[0]).find("feasible")->as_bool());
+  const sv::socket_server_summary s = daemon.finish();
+  EXPECT_EQ(s.conns.accepted, 2u);
+  EXPECT_EQ(s.conns.shed, 1u);
+  EXPECT_EQ(s.requests, 1u);
+}
+
+TEST(SocketDaemon, ConcurrentClientsShareOneFlightAcrossConnections) {
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("dedup"));
+  sv::service_options sopt;
+  sopt.jobs = 4;
+  socket_daemon daemon(spec, sopt);
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back([&] {
+      const std::unique_ptr<sv::byte_stream> c = connect_client(spec);
+      ASSERT_NE(c, nullptr);
+      const std::vector<std::string> r =
+          socket_round_trip(*c, {R"({"bench":"ewf"})"});
+      ASSERT_EQ(r.size(), 1u);
+      EXPECT_TRUE(parse_json(r[0]).find("feasible")->as_bool());
+      answered.fetch_add(1);
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(answered.load(), kClients);
+  daemon.svc.drain();
+  const sv::service_stats stats = daemon.svc.stats();
+  // Identical requests from different connections collapse onto ONE
+  // computation: the leader computes, every other lands as a dedup
+  // follower or a cache hit depending on arrival timing.
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.deduped + stats.cache_hits, static_cast<std::uint64_t>(kClients - 1));
+  const sv::socket_server_summary s = daemon.finish();
+  EXPECT_EQ(s.conns.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.conns.closed, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(SocketDaemon, DeadClientMidFlightLeavesSurvivorByteIdentical) {
+  const std::vector<std::string> survivor_lines = {
+      R"({"id":"s1","bench":"ewf"})",
+      R"({"id":"s2","bench":"fig1"})",
+      R"({"id":"s3","bench":"fig2"})",
+  };
+  sv::service_options sopt;
+  sopt.jobs = 1;
+  // Every request is slowed a little so the victim's is still in flight
+  // when its socket dies.
+  sopt.faults = sv::fault_plan::parse("slot=0:delay_ms=30");
+  sv::socket_server_options opt;
+  opt.connection.ordered = true;
+
+  // Solo reference: the survivor alone against a fresh daemon.
+  std::vector<std::string> want;
+  {
+    const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("solo"));
+    socket_daemon daemon(spec, sopt, opt);
+    const std::unique_ptr<sv::byte_stream> client = connect_client(spec);
+    ASSERT_NE(client, nullptr);
+    want = socket_round_trip(*client, survivor_lines);
+    for (std::string& p : want) p = strip_ms(p);
+  }
+  ASSERT_EQ(want.size(), survivor_lines.size());
+
+  // Same run, but a victim connection dies mid-flight without reading.
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("kill"));
+  socket_daemon daemon(spec, sopt, opt);
+  {
+    std::unique_ptr<sv::byte_stream> victim = connect_client(spec);
+    ASSERT_NE(victim, nullptr);
+    // A bench the survivor never asks for, so the survivor's cache
+    // behaviour (and thus its bytes) cannot depend on the victim.
+    ASSERT_TRUE(sv::write_frame(*victim, R"({"id":"v","bench":"hal"})"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } // destroyed unread: the server's response write hits a dead peer
+  const std::unique_ptr<sv::byte_stream> survivor = connect_client(spec);
+  ASSERT_NE(survivor, nullptr);
+  std::vector<std::string> got = socket_round_trip(*survivor, survivor_lines);
+  for (std::string& p : got) p = strip_ms(p);
+  EXPECT_EQ(got, want); // byte-identical to the solo run, modulo ms
+  daemon.svc.drain();
+  // The victim's admitted request still completed - a dead peer discards
+  // the response bytes but never aborts or stalls the drain.
+  EXPECT_EQ(daemon.svc.stats().completed, survivor_lines.size() + 1);
+  const sv::socket_server_summary s = daemon.finish();
+  EXPECT_EQ(s.conns.accepted, 2u);
+  EXPECT_EQ(s.conns.closed, 2u);
+}
+
+TEST(SocketDaemon, ConnDropFaultClosesAtAcceptWithoutReadingBytes) {
+  const sv::listen_spec spec = sv::listen_spec::parse("unix:" + unix_sock("drop"));
+  sv::service_options sopt;
+  sopt.jobs = 1;
+  sopt.faults = sv::fault_plan::parse("conn=1:drop");
+  socket_daemon daemon(spec, sopt);
+  const std::unique_ptr<sv::byte_stream> dropped = connect_client(spec);
+  ASSERT_NE(dropped, nullptr);
+  // The server closes the dropped connection without reading a byte.
+  EXPECT_EQ(sv::read_frame(*dropped).status, sv::frame_status::eof);
+  const std::unique_ptr<sv::byte_stream> next = connect_client(spec);
+  ASSERT_NE(next, nullptr);
+  const std::vector<std::string> served =
+      socket_round_trip(*next, {R"({"bench":"fig1"})"});
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_TRUE(parse_json(served[0]).find("feasible")->as_bool());
+  const sv::socket_server_summary s = daemon.finish();
+  EXPECT_EQ(s.conns.accepted, 2u);
+  EXPECT_EQ(s.conns.faulted, 1u);
+  EXPECT_EQ(s.requests, 1u);
 }

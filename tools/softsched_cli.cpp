@@ -36,6 +36,8 @@
 #include "sched/backend.h"
 #include "serve/daemon.h"
 #include "serve/engine.h"
+#include "serve/options.h"
+#include "serve/socket.h"
 #include "regalloc/lifetime.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -84,16 +86,11 @@ struct options {
   // batch scheduling service mode
   std::string serve_batch; // JSONL request file; "-" = stdin
   std::string out_file;    // JSONL response file; "-"/empty = stdout
-  int cache_mb = 64;
-  int serve_batch_size = 64;
-  bool serve_compact = false; // omit start/unit arrays from responses
-  // persistent schedule-cache tier (both serve modes; docs/SERVING.md)
-  std::string cache_dir;  // empty = disk tier off
-  int disk_cache_mb = 0;  // 0 = disk tier off
-  // resident daemon mode
-  std::string serve;          // framed request stream; "-" = stdin
-  int serve_queue = 256;      // admission-control queue capacity
-  bool serve_ordered = false; // input-order responses instead of streaming
+  // resident daemon mode: --serve [file|-], transport picked by --listen
+  bool serve_mode = false;
+  std::string serve = "-"; // framed request stream (stdio transport only)
+  // every serving knob, validated by one shared path (serve/options.h)
+  sv::serve_flags serve_flags;
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -133,7 +130,9 @@ struct options {
       << "resident daemon (framed requests in -> framed responses out;\n"
       << "wire protocol in docs/SERVING.md; SOFTSCHED_INJECT enables fault\n"
       << "injection for tests):\n"
-      << "  --serve <file|->                                framed stream (- = stdin)\n"
+      << "  --serve [file|-]                                framed stream (- = stdin)\n"
+      << "  --listen <stdio|tcp:HOST:PORT|unix:PATH>        transport (stdio)\n"
+      << "  --max-conns <n>                                 open-connection bound (64)\n"
       << "  --serve-queue <n>                               admission capacity (256)\n"
       << "  --serve-ordered                                 input-order responses\n"
       << "persistent cache maintenance (docs/SERVING.md \"Persistence\"):\n"
@@ -168,22 +167,32 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--spill") opt.spills.push_back(need(i));
     else if (arg == "--wire") opt.wires.push_back(need(i));
     else if (arg == "--explore") opt.explore = true;
-    else if (arg == "--jobs") opt.jobs = std::atoi(need(i).c_str());
+    else if (arg == "--jobs") { opt.jobs = std::atoi(need(i).c_str()); opt.serve_flags.jobs = opt.jobs; }
     else if (arg == "--alus-range") opt.alus_range = need(i);
     else if (arg == "--muls-range") opt.muls_range = need(i);
     else if (arg == "--mems-range") opt.mems_range = need(i);
     else if (arg == "--mul-lat-range") opt.mul_lat_range = need(i);
     else if (arg == "--explore-out") opt.explore_out = need(i);
     else if (arg == "--serve-batch") opt.serve_batch = need(i);
-    else if (arg == "--serve") opt.serve = need(i);
-    else if (arg == "--serve-queue") opt.serve_queue = std::atoi(need(i).c_str());
-    else if (arg == "--serve-ordered") opt.serve_ordered = true;
+    else if (arg == "--serve") {
+      // The stream argument is optional: `--serve --listen unix:PATH` has
+      // no input file; bare `--serve` reads framed stdin.
+      opt.serve_mode = true;
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (next == "-" || next[0] != '-') opt.serve = argv[++i];
+      }
+    }
+    else if (arg == "--listen") opt.serve_flags.listen = need(i);
+    else if (arg == "--max-conns") opt.serve_flags.max_conns = std::atoi(need(i).c_str());
+    else if (arg == "--serve-queue") opt.serve_flags.serve_queue = std::atoi(need(i).c_str());
+    else if (arg == "--serve-ordered") opt.serve_flags.serve_ordered = true;
     else if (arg == "--out") opt.out_file = need(i);
-    else if (arg == "--cache-mb") opt.cache_mb = std::atoi(need(i).c_str());
-    else if (arg == "--cache-dir") opt.cache_dir = need(i);
-    else if (arg == "--disk-cache-mb") opt.disk_cache_mb = std::atoi(need(i).c_str());
-    else if (arg == "--serve-batch-size") opt.serve_batch_size = std::atoi(need(i).c_str());
-    else if (arg == "--serve-compact") opt.serve_compact = true;
+    else if (arg == "--cache-mb") opt.serve_flags.cache_mb = std::atoi(need(i).c_str());
+    else if (arg == "--cache-dir") opt.serve_flags.cache_dir = need(i);
+    else if (arg == "--disk-cache-mb") opt.serve_flags.disk_cache_mb = std::atoi(need(i).c_str());
+    else if (arg == "--serve-batch-size") opt.serve_flags.serve_batch_size = std::atoi(need(i).c_str());
+    else if (arg == "--serve-compact") opt.serve_flags.serve_compact = true;
     else if (arg == "--gantt") opt.gantt = true;
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--registers") opt.registers = true;
@@ -194,13 +203,18 @@ options parse_args(int argc, char** argv) {
   const int inputs = static_cast<int>(!opt.bench.empty()) +
                      static_cast<int>(!opt.dfg_file.empty()) +
                      static_cast<int>(!opt.beh_file.empty());
-  if (!opt.serve_batch.empty() || !opt.serve.empty()) {
-    if (!opt.serve_batch.empty() && !opt.serve.empty())
+  if (!opt.serve_batch.empty() || opt.serve_mode) {
+    if (!opt.serve_batch.empty() && opt.serve_mode)
       usage(argv[0], "--serve (resident daemon) and --serve-batch (one-shot "
                      "batch) are mutually exclusive");
     if (inputs != 0)
       usage(argv[0], "--serve/--serve-batch read designs from their requests, "
                      "not from --bench/--dfg/--beh");
+    if (opt.serve_flags.listen != "stdio" && opt.serve != "-")
+      usage(argv[0], "--listen tcp:/unix: serves socket clients; it cannot "
+                     "also read a --serve request file");
+  } else if (opt.serve_flags.listen != "stdio") {
+    usage(argv[0], "--listen requires --serve");
   } else if (inputs != 1) {
     usage(argv[0], "exactly one of --bench/--dfg/--beh is required");
   }
@@ -418,19 +432,9 @@ void report_disk_tier(const sv::disk_cache_counters& d) {
 // Batch scheduling service: JSONL requests -> JSONL responses, cache and
 // dedup summary on stderr (stdout stays machine-readable).
 int run_serve(const options& opt) {
-  SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
-  SOFTSCHED_EXPECT(opt.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
-  SOFTSCHED_EXPECT(opt.serve_batch_size >= 0, "--serve-batch-size must be >= 0");
-  sv::engine_options eopt;
-  eopt.jobs = opt.jobs;
-  eopt.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
-  eopt.batch_size = static_cast<std::size_t>(opt.serve_batch_size);
-  eopt.emit_schedule = !opt.serve_compact;
-  eopt.cache_dir = opt.cache_dir;
-  eopt.disk_cache_bytes = static_cast<std::size_t>(opt.disk_cache_mb) << 20;
-  // Only the io= family applies here (slot/shard target the daemon); it is
-  // consumed exclusively by the disk tier.
-  eopt.disk_faults = sv::fault_plan::from_env().io;
+  // One validation path for every serving flag (serve/options.h); the
+  // error messages tests pin live there, not here.
+  const sv::engine_options eopt = sv::engine_options_from_flags(opt.serve_flags);
 
   std::ifstream in_file;
   std::istream* in = &std::cin;
@@ -471,22 +475,73 @@ int run_serve(const options& opt) {
   return 0;
 }
 
+// The daemon session summary, shared by the stdio and socket front-ends.
+void report_daemon(std::uint64_t requests, const sv::service_stats& s,
+                   std::size_t queue_capacity, bool shutdown, bool transport_error,
+                   const sv::connection_counters_snapshot& c) {
+  std::cerr << "daemon: " << requests << " requests (" << s.admitted
+            << " admitted, " << s.overloaded << " shed), " << s.computed
+            << " scheduled, " << s.cache_hits << " cache hits, " << s.deduped
+            << " deduped, " << s.errors << " errors (hit rate " << s.hit_rate
+            << ")\n";
+  std::cerr << "daemon: " << s.uptime_ms << " ms up, " << s.qps << " qps, p50/p95/p99 "
+            << s.p50_ms << "/" << s.p95_ms << "/" << s.p99_ms << " ms, peak queue "
+            << s.peak_queue_depth << "/" << queue_capacity
+            << (shutdown ? ", shutdown" : "")
+            << (transport_error ? ", transport error" : "") << "\n";
+  std::cerr << "daemon: conns [" << c.transport << "] " << c.accepted << " accepted ("
+            << c.shed << " shed, " << c.faulted << " dropped by fault), " << c.active
+            << " active, " << c.closed << " closed, " << c.transport_errors
+            << " transport errors, " << c.bytes_in << " bytes in, " << c.bytes_out
+            << " bytes out\n";
+  if (s.disk_enabled) {
+    std::cerr << "serve: disk tier: " << s.disk_hits << " disk hits, " << s.disk_misses
+              << " disk misses, " << s.disk_writes << " writes, " << s.disk_flushed
+              << " flushed, " << s.disk_evictions << " evictions, "
+              << s.disk_corrupt_dropped << " corrupt dropped, " << s.disk_io_errors
+              << " io errors; recovered " << s.disk_recovered_entries << " entries in "
+              << s.disk_recovery_scan_ms << " ms; " << s.disk_entries << " entries, "
+              << s.disk_bytes << " bytes"
+              << (s.disk_degraded ? "; DEGRADED (RAM-only)" : "") << "\n";
+  }
+}
+
+// Resident daemon over a socket listener: accept loop + per-connection
+// serve_connection threads over one shared service; runs until a client
+// sends {"op":"shutdown"}. Per-connection transport errors close that
+// connection only and never fail the process.
+int run_socket_daemon(const sv::daemon_options& dopt, const sv::listen_spec& spec) {
+  sv::service svc(dopt.service);
+  const std::unique_ptr<sv::listener> accept_from = sv::make_listener(spec);
+  // The one line scripts wait for (and scrape the ephemeral port from).
+  std::cerr << "daemon: listening on " << accept_from->address() << "\n" << std::flush;
+
+  sv::socket_server_options sopt;
+  sopt.max_connections = dopt.max_connections;
+  sopt.retry_after_ms = dopt.service.retry_after_ms;
+  sopt.connection.ordered = dopt.ordered;
+  sopt.connection.emit_schedule = dopt.service.emit_schedule;
+  sopt.connection.limits = dopt.limits;
+  sv::socket_server server(*accept_from, svc, sopt);
+  const sv::socket_server_summary summary = server.run();
+
+  svc.drain();
+  (void)svc.flush_disk();
+  const sv::service_stats s = svc.stats();
+  report_daemon(summary.requests, s, dopt.service.queue_capacity,
+                summary.shutdown_requested, /*transport_error=*/false, summary.conns);
+  return 0;
+}
+
 // Resident daemon: framed requests -> framed responses (docs/SERVING.md),
 // session summary on stderr. SOFTSCHED_INJECT (fault injection for tests)
 // is honored here and nowhere else.
 int run_daemon_mode(const options& opt) {
-  SOFTSCHED_EXPECT(opt.cache_mb >= 0, "--cache-mb must be >= 0");
-  SOFTSCHED_EXPECT(opt.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
-  SOFTSCHED_EXPECT(opt.serve_queue >= 1, "--serve-queue must be >= 1");
-  sv::daemon_options dopt;
-  dopt.service.jobs = opt.jobs;
-  dopt.service.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
-  dopt.service.queue_capacity = static_cast<std::size_t>(opt.serve_queue);
-  dopt.service.emit_schedule = !opt.serve_compact;
-  dopt.service.faults = sv::fault_plan::from_env();
-  dopt.service.cache_dir = opt.cache_dir;
-  dopt.service.disk_cache_bytes = static_cast<std::size_t>(opt.disk_cache_mb) << 20;
-  dopt.ordered = opt.serve_ordered;
+  // One validation path for every serving flag (serve/options.h); the
+  // error messages tests pin live there, not here.
+  const sv::daemon_options dopt = sv::daemon_options_from_flags(opt.serve_flags);
+  const sv::listen_spec spec = sv::listen_from_flags(opt.serve_flags);
+  if (spec.kind != sv::listen_spec::transport::stdio) return run_socket_daemon(dopt, spec);
 
   std::ifstream in_file;
   std::istream* in = &std::cin;
@@ -507,27 +562,8 @@ int run_daemon_mode(const options& opt) {
   out->flush();
   if (!*out) throw softsched::precondition_error("failed to write responses");
 
-  const sv::service_stats& s = summary.stats;
-  std::cerr << "daemon: " << summary.requests << " requests (" << s.admitted
-            << " admitted, " << s.overloaded << " shed), " << s.computed
-            << " scheduled, " << s.cache_hits << " cache hits, " << s.deduped
-            << " deduped, " << s.errors << " errors (hit rate " << s.hit_rate
-            << ")\n";
-  std::cerr << "daemon: " << s.uptime_ms << " ms up, " << s.qps << " qps, p50/p95/p99 "
-            << s.p50_ms << "/" << s.p95_ms << "/" << s.p99_ms << " ms, peak queue "
-            << s.peak_queue_depth << "/" << dopt.service.queue_capacity
-            << (summary.shutdown_requested ? ", shutdown" : "")
-            << (summary.transport_error ? ", transport error" : "") << "\n";
-  if (s.disk_enabled) {
-    std::cerr << "serve: disk tier: " << s.disk_hits << " disk hits, " << s.disk_misses
-              << " disk misses, " << s.disk_writes << " writes, " << s.disk_flushed
-              << " flushed, " << s.disk_evictions << " evictions, "
-              << s.disk_corrupt_dropped << " corrupt dropped, " << s.disk_io_errors
-              << " io errors; recovered " << s.disk_recovered_entries << " entries in "
-              << s.disk_recovery_scan_ms << " ms; " << s.disk_entries << " entries, "
-              << s.disk_bytes << " bytes"
-              << (s.disk_degraded ? "; DEGRADED (RAM-only)" : "") << "\n";
-  }
+  report_daemon(summary.requests, summary.stats, dopt.service.queue_capacity,
+                summary.shutdown_requested, summary.transport_error, summary.conns);
   return summary.transport_error ? 1 : 0;
 }
 
@@ -602,7 +638,7 @@ int run_cache_tool(int argc, char** argv) {
 }
 
 int run(const options& opt) {
-  if (!opt.serve.empty()) return run_daemon_mode(opt);
+  if (opt.serve_mode) return run_daemon_mode(opt);
   if (!opt.serve_batch.empty()) return run_serve(opt);
   if (opt.explore) return run_explore(opt);
   const si::resource_library lib;
