@@ -36,6 +36,7 @@
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
 #include "load_scenario.h"
+#include "memory_scenario.h"
 #include "persist_scenario.h"
 #include "serve_scenario.h"
 #include "socket_scenario.h"
@@ -469,6 +470,14 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: scheduler backends...\n";
   j.key("backend");
   ok = softsched::bench::write_backend_scenario(j) && ok;
+
+  // Memory micro-profile of the soft hot path: warmed arena context vs the
+  // heap baseline under instrumented allocation counters (see
+  // memory_scenario.h). Self-gating on the allocation ratio and on
+  // arena/heap outcome parity.
+  std::cerr << "perf_harness: memory micro-profile...\n";
+  j.key("memory");
+  ok = softsched::bench::write_memory_scenario(j) && ok;
 
   j.end_object(); // scenarios
   j.end_object(); // root

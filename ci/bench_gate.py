@@ -32,6 +32,12 @@ LOWER_IS_BETTER = {
     # The recovery scan is sub-ms on the fixed mix; without the floor a
     # 0.2 ms -> 0.9 ms filesystem hiccup would read as a 4x regression.
     "persist.recovery_scan_ms": (4.0, 50.0),
+    # Warmed-arena heap allocations per scheduled design. Deterministic (no
+    # timing involved), so the tolerance is tight: a doubling means someone
+    # reintroduced a per-run heap allocation on the hot path. The floor
+    # keeps a future fully-silent arena (0 allocs) from making any nonzero
+    # count look infinite.
+    "memory.arena_allocs_per_design": (2.0, 4.0),
 }
 
 
@@ -66,6 +72,10 @@ def metrics(doc):
             "requests_per_sec_degraded"
         ],
         "persist.recovery_scan_ms": s["persist"]["recovery_scan_ms"],
+        "memory.alloc_ratio": s["memory"]["alloc_ratio"],
+        "memory.arena_allocs_per_design": s["memory"]["arena"][
+            "allocations_per_design"
+        ],
     }
 
 
@@ -223,6 +233,32 @@ def validate(doc, label):
             )
         if isinstance(persist.get("gate"), dict) and not persist["gate"].get("pass"):
             errors.append(f"{label}: persist: scenario's own gate failed")
+    memory = s.get("memory")
+    if not memory:
+        errors.append(f"{label}: missing scenario memory")
+    else:
+        for key in ("arena", "heap", "alloc_ratio", "min_alloc_ratio", "ok"):
+            if key not in memory:
+                errors.append(f"{label}: memory: missing {key}")
+        if not memory.get("instrumented", False):
+            errors.append(
+                f"{label}: memory: allocation counters read zero - the harness "
+                "is not linked against the counting allocator"
+            )
+        if not memory.get("modes_agree", False):
+            errors.append(
+                f"{label}: memory: arena and heap modes produced different "
+                "schedules - the arena must never be a result lever"
+            )
+        ratio = memory.get("alloc_ratio", 0)
+        min_ratio = memory.get("min_alloc_ratio", 0)
+        if ratio < min_ratio:
+            errors.append(
+                f"{label}: memory: warmed arena only {ratio:.2f}x fewer heap "
+                f"allocations than heap mode (< {min_ratio:g}x)"
+            )
+        if not memory.get("ok", False):
+            errors.append(f"{label}: memory: scenario's own gate failed")
     backend = s.get("backend")
     if not backend:
         errors.append(f"{label}: missing scenario backend")
@@ -273,6 +309,7 @@ def main():
         "serve.hit_rate",
         "backend.soft_points_per_sec",
         "persist.warm_restart_hit_rate",
+        "memory.alloc_ratio",
     }
 
     print("### Benchmark gate (fail only on >%.0fx regression)\n" % TOLERANCE)
@@ -338,6 +375,15 @@ def main():
         f"p99 {socket['p99_ms']:.2f} ms, shed rate {socket['shed_rate']:.3f}, "
         f"goodput {socket['goodput_rps']:.0f} rps, "
         f"slo_pass={socket['slo']['pass']}"
+    )
+    memory = fresh["scenarios"]["memory"]
+    print(
+        f"\nmemory: warmed arena {memory['arena']['allocations_per_design']:.1f} "
+        f"vs heap {memory['heap']['allocations_per_design']:.1f} heap "
+        f"allocations/design ({memory['alloc_ratio']:.1f}x, gate "
+        f"{memory['min_alloc_ratio']:g}x), peak live "
+        f"{memory['peak_live_bytes']} bytes in {memory['arena_blocks']} arena "
+        f"blocks, modes_agree={memory['modes_agree']}"
     )
     persist = fresh["scenarios"]["persist"]
     print(

@@ -100,6 +100,29 @@ def minimal_doc():
                 "deterministic": True,
                 "gate": {"pass": True},
             },
+            "memory": {
+                "constraint": "2+/-,2*",
+                "designs": ["hal", "arf", "ewf", "fir8"],
+                "passes": 50,
+                "arena": {
+                    "allocations_per_design": 8.0,
+                    "bytes_per_design": 2000.0,
+                    "frees_per_design": 8.0,
+                },
+                "heap": {
+                    "allocations_per_design": 48.0,
+                    "bytes_per_design": 40000.0,
+                    "frees_per_design": 48.0,
+                },
+                "alloc_ratio": 6.0,
+                "min_alloc_ratio": 5.0,
+                "peak_live_bytes": 262144,
+                "arena_blocks": 4,
+                "arena_block_bytes": 262144,
+                "modes_agree": True,
+                "instrumented": True,
+                "ok": True,
+            },
             "backend": {
                 "constraint": "2+/-,2*",
                 "designs": ["hal", "arf", "ewf", "fir8"],
@@ -390,6 +413,75 @@ def test_ungated_backend_throughput_may_regress(tmp_path):
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 1
     assert "backend.soft_points_per_sec" in result.stdout
+
+
+def test_missing_memory_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["memory"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "memory" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_memory_mode_divergence_fails(tmp_path):
+    # The arena is a cost lever, never a result lever: any outcome drift
+    # between arena and heap modes is fatal regardless of the ratios.
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["modes_agree"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "result lever" in result.stdout
+
+
+def test_memory_uninstrumented_binary_fails(tmp_path):
+    # Counters reading zero means the harness silently lost the counting
+    # allocator link edge - the whole scenario would be vacuous.
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["instrumented"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "counting allocator" in result.stdout
+
+
+def test_memory_alloc_ratio_below_min_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["alloc_ratio"] = 4.0  # < min_alloc_ratio 5
+    fresh["scenarios"]["memory"]["ok"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "fewer heap" in result.stdout
+
+
+def test_memory_arena_allocs_within_floored_tolerance_pass(tmp_path):
+    # max(baseline 8, floor 4) * 2 = 16 allocs/design is the ceiling.
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["arena"]["allocations_per_design"] = 15.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_memory_arena_alloc_creep_fails(tmp_path):
+    # A per-run heap allocation reappearing on the hot path more than
+    # doubles the warmed count; the trend gate catches it even when the
+    # scenario's own >=5x ratio still holds.
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["arena"]["allocations_per_design"] = 17.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "memory.arena_allocs_per_design" in result.stdout
+
+
+def test_memory_ratio_collapse_fails_against_baseline(tmp_path):
+    # alloc_ratio is a gated higher-is-better metric: >2x drop vs the
+    # committed baseline fails even above the absolute minimum.
+    fresh = minimal_doc()
+    fresh["scenarios"]["memory"]["alloc_ratio"] = 12.0
+    baseline = minimal_doc()
+    baseline["scenarios"]["memory"]["alloc_ratio"] = 30.0
+    result = run_gate(tmp_path, baseline, fresh)
+    assert result.returncode == 1
+    assert "memory.alloc_ratio" in result.stdout
 
 
 def test_missing_socket_scenario_fails(tmp_path):

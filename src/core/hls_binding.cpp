@@ -10,6 +10,12 @@ int hls_vertex_tag(const ir::dfg& d, vertex_id v) {
 }
 
 threaded_graph make_hls_state(const ir::dfg& d, const ir::resource_set& resources) {
+  std::vector<int> tags;
+  return make_hls_state(d, resources, nullptr, tags);
+}
+
+threaded_graph make_hls_state(const ir::dfg& d, const ir::resource_set& resources,
+                              util::arena* arena, std::vector<int>& tags_scratch) {
   SOFTSCHED_EXPECT(resources.alus >= 0 && resources.multipliers >= 0 &&
                        resources.memory_ports >= 0,
                    "resource counts must be non-negative");
@@ -20,7 +26,8 @@ threaded_graph make_hls_state(const ir::dfg& d, const ir::resource_set& resource
       throw infeasible_error(d.name() + " needs at least one " +
                              std::string(ir::class_name(cls)) + " unit");
   }
-  std::vector<int> tags;
+  std::vector<int>& tags = tags_scratch;
+  tags.clear();
   for (int i = 0; i < resources.alus; ++i)
     tags.push_back(static_cast<int>(ir::resource_class::alu));
   for (int i = 0; i < resources.multipliers; ++i)
@@ -29,8 +36,10 @@ threaded_graph make_hls_state(const ir::dfg& d, const ir::resource_set& resource
     tags.push_back(static_cast<int>(ir::resource_class::memory_port));
   SOFTSCHED_EXPECT(!tags.empty(), "resource set provides no units at all");
   const ir::dfg* dp = &d;
-  return threaded_graph(d.graph(), std::move(tags),
-                        [dp](vertex_id v) { return hls_vertex_tag(*dp, v); });
+  threaded_graph state(d.graph(), std::span<const int>(tags),
+                       [dp](vertex_id v) { return hls_vertex_tag(*dp, v); }, arena);
+  state.reserve_vertices(d.op_count());
+  return state;
 }
 
 int add_wire_thread(threaded_graph& state, vertex_id wire_vertex) {

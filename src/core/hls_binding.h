@@ -8,8 +8,11 @@
 // its own uniquely-tagged thread via add_wire_thread().
 #pragma once
 
+#include <vector>
+
 #include "core/threaded_graph.h"
 #include "ir/dfg.h"
+#include "util/arena.h"
 
 namespace softsched::core {
 
@@ -27,6 +30,15 @@ inline constexpr int wire_tag_base = 1 << 16;
 /// DFG needs a class the constraint provides zero units of.
 [[nodiscard]] threaded_graph make_hls_state(const ir::dfg& d,
                                             const ir::resource_set& resources);
+
+/// Hot-path variant (the run_context backend API): internal state arrays
+/// draw from `arena` when non-null, and the thread-tag staging buffer is
+/// caller-owned so a warmed-up worker rebuilds states heap-silently. The
+/// returned state is move-cheap (vector steals under an equal allocator).
+[[nodiscard]] threaded_graph make_hls_state(const ir::dfg& d,
+                                            const ir::resource_set& resources,
+                                            util::arena* arena,
+                                            std::vector<int>& tags_scratch);
 
 /// Adds the dedicated thread for a wire vertex and returns its index. Must
 /// be called once per wire vertex before scheduling it.

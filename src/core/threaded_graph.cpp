@@ -27,7 +27,31 @@ threaded_graph::threaded_graph(const precedence_graph& g, int thread_count)
 
 threaded_graph::threaded_graph(const precedence_graph& g, std::vector<int> thread_tags,
                                tag_fn vertex_tag)
-    : g_(&g), vertex_tag_(std::move(vertex_tag)), thread_tags_(std::move(thread_tags)) {
+    : threaded_graph(g, std::span<const int>(thread_tags), std::move(vertex_tag),
+                     nullptr) {}
+
+threaded_graph::threaded_graph(const precedence_graph& g, std::span<const int> thread_tags,
+                               tag_fn vertex_tag, util::arena* arena)
+    : g_(&g), vertex_tag_(std::move(vertex_tag)), arena_(arena),
+      thread_tags_(thread_tags.begin(), thread_tags.end(), util::arena_allocator<int>(arena)),
+      nodes_(util::arena_allocator<node>(arena)),
+      out_(util::arena_allocator<std::int32_t>(arena)),
+      in_(util::arena_allocator<std::int32_t>(arena)),
+      s_(util::arena_allocator<std::int32_t>(arena)),
+      t_(util::arena_allocator<std::int32_t>(arena)),
+      node_index_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_topo_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_degree_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_succ_reach_(util::arena_allocator<std::uint8_t>(arena)),
+      scratch_pred_reach_(util::arena_allocator<std::uint8_t>(arena)),
+      scratch_queue_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_queued_(util::arena_allocator<std::uint8_t>(arena)),
+      scratch_latest_pred_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_earliest_succ_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_seen_(util::arena_allocator<std::uint8_t>(arena)),
+      scratch_bfs_(util::arena_allocator<std::int32_t>(arena)),
+      scratch_labels_(
+          util::arena_allocator<std::pair<long long, long long>>(arena)) {
   SOFTSCHED_EXPECT(!thread_tags_.empty(), "a threaded graph needs at least one thread");
   SOFTSCHED_EXPECT(static_cast<bool>(vertex_tag_), "vertex tag function must be callable");
   k_ = static_cast<int>(thread_tags_.size());
@@ -48,6 +72,14 @@ threaded_graph::threaded_graph(const precedence_graph& g, std::vector<int> threa
     s_[static_cast<std::size_t>(k)] = s;
     t_[static_cast<std::size_t>(k)] = t;
   }
+}
+
+void threaded_graph::reserve_vertices(std::size_t expected_vertices) {
+  const std::size_t count = nodes_.size() + expected_vertices;
+  nodes_.reserve(count);
+  out_.reserve(count * static_cast<std::size_t>(k_));
+  in_.reserve(count * static_cast<std::size_t>(k_));
+  node_index_.reserve(g_->vertex_count());
 }
 
 std::int32_t threaded_graph::node_of(vertex_id v) const {
@@ -87,9 +119,11 @@ int threaded_graph::add_thread(int tag) {
   const int old_k = k_;
   const int new_k = k_ + 1;
   const std::size_t count = nodes_.size();
-  // Re-layout both slot arrays to the wider stride.
-  std::vector<std::int32_t> new_out(count * static_cast<std::size_t>(new_k), no_node);
-  std::vector<std::int32_t> new_in(count * static_cast<std::size_t>(new_k), no_node);
+  // Re-layout both slot arrays to the wider stride (same backing arena).
+  util::arena_vector<std::int32_t> new_out(count * static_cast<std::size_t>(new_k),
+                                           no_node, out_.get_allocator());
+  util::arena_vector<std::int32_t> new_in(count * static_cast<std::size_t>(new_k),
+                                          no_node, in_.get_allocator());
   for (std::size_t n = 0; n < count; ++n) {
     for (int k = 0; k < old_k; ++k) {
       new_out[n * static_cast<std::size_t>(new_k) + static_cast<std::size_t>(k)] =
@@ -132,7 +166,10 @@ void threaded_graph::refresh_closure() {
       throw graph_error("paranoid: incremental closure diverged from a rebuild");
     return;
   }
-  closure_.emplace(*g_); // validates acyclicity of G as a side effect
+  if (closure_)
+    closure_->rebuild(*g_); // reuses the bitset storage; validates acyclicity
+  else
+    closure_.emplace(*g_, arena_);
   closure_cursor_ = now;
   ++stats_.closure_rebuilds;
 }
@@ -216,7 +253,9 @@ void threaded_graph::incremental_relabel(std::int32_t n) {
   // would necessarily pass through n - all new edges are incident to it)
   // is still detected when propagation laps back into n, and demotes to
   // invalidated labels so the next label() reports it.
-  scratch_queued_.assign(count, 0);
+  // The queued flags are self-cleaning (every dequeue unsets its flag), so
+  // the array only needs to cover the new node - no O(n) clear per commit.
+  if (scratch_queued_.size() < count) scratch_queued_.resize(count, 0);
   scratch_queue_.clear();
   scratch_queue_.push_back(n);
   scratch_queued_[static_cast<std::size_t>(n)] = 1;
@@ -227,6 +266,8 @@ void threaded_graph::incremental_relabel(std::int32_t n) {
       const std::int32_t w = out_slot(u, k);
       if (w == no_node) continue;
       if (w == n && u != n) { // every queued u is downstream of n: a cycle
+        for (std::size_t i = head; i < scratch_queue_.size(); ++i)
+          scratch_queued_[static_cast<std::size_t>(scratch_queue_[i])] = 0;
         labels_valid_ = false;
         return;
       }
@@ -243,8 +284,8 @@ void threaded_graph::incremental_relabel(std::int32_t n) {
     }
   }
 
-  // Backward cone: tdist increases along in slots.
-  scratch_queued_.assign(count, 0);
+  // Backward cone: tdist increases along in slots. The forward loop left
+  // every flag unset again, so the array is ready as-is.
   scratch_queue_.clear();
   scratch_queue_.push_back(n);
   scratch_queued_[static_cast<std::size_t>(n)] = 1;
@@ -255,6 +296,8 @@ void threaded_graph::incremental_relabel(std::int32_t n) {
       const std::int32_t p = in_slot(u, k);
       if (p == no_node) continue;
       if (p == n && u != n) { // every queued u is upstream of n: a cycle
+        for (std::size_t i = head; i < scratch_queue_.size(); ++i)
+          scratch_queued_[static_cast<std::size_t>(scratch_queue_[i])] = 0;
         labels_valid_ = false;
         return;
       }
@@ -274,13 +317,14 @@ void threaded_graph::incremental_relabel(std::int32_t n) {
 
 bool threaded_graph::labels_match_full_relabel() {
   label(); // materialize the (possibly incrementally maintained) labels
-  std::vector<std::pair<long long, long long>> current;
-  current.reserve(nodes_.size());
-  for (const node& nd : nodes_) current.emplace_back(nd.sdist, nd.tdist);
+  scratch_labels_.clear();
+  scratch_labels_.reserve(nodes_.size());
+  for (const node& nd : nodes_) scratch_labels_.emplace_back(nd.sdist, nd.tdist);
   labels_valid_ = false;
   label(); // forced full pass; also repairs the labels on divergence
   for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (current[i] != std::make_pair(nodes_[i].sdist, nodes_[i].tdist)) return false;
+    if (scratch_labels_[i] != std::make_pair(nodes_[i].sdist, nodes_[i].tdist))
+      return false;
   return true;
 }
 
@@ -288,65 +332,83 @@ void threaded_graph::compute_legality_and_intrinsics(vertex_id v, long long& int
                                                      long long& intrinsic_snk) {
   label();
   const std::size_t count = nodes_.size();
-  scratch_succ_reach_.assign(count, 0);
-  scratch_pred_reach_.assign(count, 0);
+  if (scratch_succ_reach_.size() < count) {
+    scratch_succ_reach_.resize(count, 0);
+    scratch_pred_reach_.resize(count, 0);
+  }
+  if (++reach_epoch_ == 0) { // epoch wrapped: every stale stamp could alias
+    std::fill(scratch_succ_reach_.begin(), scratch_succ_reach_.end(), 0u);
+    std::fill(scratch_pred_reach_.begin(), scratch_pred_reach_.end(), 0u);
+    reach_epoch_ = 1;
+  }
+  const std::uint32_t epoch = reach_epoch_;
   intrinsic_src = 0;
   intrinsic_snk = 0;
-  // Seeds: scheduled transitive predecessors/successors of v in G
+  // Seeds: scheduled transitive successors/predecessors of v in G
   // (Algorithm 1 lines 53-54 compute the intrinsic distances over exactly
-  // these sets). Successors come from v's closure row (word iteration);
-  // predecessors need the column, one bit test per scheduled node.
-  scratch_queue_.clear();
+  // these sets), reduced to the per-thread extremes in one pass over the
+  // state - within a thread every other seed is implied through the chain,
+  // and sdist/tdist are monotone along it, so the extremes also carry the
+  // intrinsic distances. Two closure bit tests per scheduled node; both
+  // hit v's own row or the node's row head, which stay cached.
   scratch_latest_pred_.assign(static_cast<std::size_t>(k_), no_node);
   scratch_earliest_succ_.assign(static_cast<std::size_t>(k_), no_node);
-  closure_->for_each_strictly_reachable(v, [&](vertex_id w) {
-    const std::int32_t n = node_of(w);
-    if (n == no_node) return;
-    intrinsic_snk = std::max(intrinsic_snk, nodes_[static_cast<std::size_t>(n)].tdist);
-    scratch_succ_reach_[static_cast<std::size_t>(n)] = 1;
-    scratch_queue_.push_back(n);
-    const auto j = static_cast<std::size_t>(nodes_[static_cast<std::size_t>(n)].thread);
-    if (scratch_earliest_succ_[j] == no_node ||
-        nodes_[static_cast<std::size_t>(n)].rank <
-            nodes_[static_cast<std::size_t>(scratch_earliest_succ_[j])].rank)
-      scratch_earliest_succ_[j] = n;
-  });
   for (std::size_t n = 0; n < count; ++n) {
     const vertex_id gv = nodes_[n].gv;
-    if (!gv.valid() || scratch_succ_reach_[n]) continue;
-    if (closure_->strictly_reaches(gv, v)) {
-      intrinsic_src = std::max(intrinsic_src, nodes_[n].sdist);
-      scratch_pred_reach_[n] = 1;
-      const auto j = static_cast<std::size_t>(nodes_[n].thread);
+    if (!gv.valid()) continue;
+    const auto j = static_cast<std::size_t>(nodes_[n].thread);
+    if (closure_->strictly_reaches(v, gv)) {
+      if (scratch_earliest_succ_[j] == no_node ||
+          nodes_[n].rank <
+              nodes_[static_cast<std::size_t>(scratch_earliest_succ_[j])].rank)
+        scratch_earliest_succ_[j] = static_cast<std::int32_t>(n);
+    } else if (closure_->strictly_reaches(gv, v)) {
       if (scratch_latest_pred_[j] == no_node ||
           nodes_[n].rank > nodes_[static_cast<std::size_t>(scratch_latest_pred_[j])].rank)
         scratch_latest_pred_[j] = static_cast<std::int32_t>(n);
     }
   }
   // succ_reach[n]: some scheduled successor of v reaches n in the state -
-  // the forward closure of the seed set. A plain BFS computes it touching
-  // only the reached cone (no topological order needed: the mark is
-  // monotone).
+  // the forward closure of the seed set. BFS from the per-thread earliest
+  // seeds is enough: every other seed is downstream of one of them through
+  // its thread chain, so the cones coincide. The mark is monotone, so no
+  // topological order is needed.
+  scratch_queue_.clear();
+  for (int j = 0; j < k_; ++j) {
+    const std::int32_t n = scratch_earliest_succ_[static_cast<std::size_t>(j)];
+    if (n == no_node) continue;
+    intrinsic_snk = std::max(intrinsic_snk, nodes_[static_cast<std::size_t>(n)].tdist);
+    scratch_succ_reach_[static_cast<std::size_t>(n)] = epoch;
+    scratch_queue_.push_back(n);
+  }
   for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
     const std::int32_t u = scratch_queue_[head];
     for (int k = 0; k < k_; ++k) {
       const std::int32_t w = out_slot(u, k);
-      if (w == no_node || scratch_succ_reach_[static_cast<std::size_t>(w)]) continue;
-      scratch_succ_reach_[static_cast<std::size_t>(w)] = 1;
+      if (w == no_node || scratch_succ_reach_[static_cast<std::size_t>(w)] == epoch)
+        continue;
+      scratch_succ_reach_[static_cast<std::size_t>(w)] = epoch;
       scratch_queue_.push_back(w);
     }
   }
   // pred_reach[n]: n reaches some scheduled predecessor of v in the state -
-  // the backward closure, same BFS along in slots.
+  // the backward closure, same BFS along in slots from the per-thread
+  // latest seeds.
   scratch_queue_.clear();
-  for (std::size_t n = 0; n < count; ++n)
-    if (scratch_pred_reach_[n]) scratch_queue_.push_back(static_cast<std::int32_t>(n));
+  for (int j = 0; j < k_; ++j) {
+    const std::int32_t n = scratch_latest_pred_[static_cast<std::size_t>(j)];
+    if (n == no_node) continue;
+    intrinsic_src = std::max(intrinsic_src, nodes_[static_cast<std::size_t>(n)].sdist);
+    scratch_pred_reach_[static_cast<std::size_t>(n)] = epoch;
+    scratch_queue_.push_back(n);
+  }
   for (std::size_t head = 0; head < scratch_queue_.size(); ++head) {
     const std::int32_t u = scratch_queue_[head];
     for (int k = 0; k < k_; ++k) {
       const std::int32_t p = in_slot(u, k);
-      if (p == no_node || scratch_pred_reach_[static_cast<std::size_t>(p)]) continue;
-      scratch_pred_reach_[static_cast<std::size_t>(p)] = 1;
+      if (p == no_node || scratch_pred_reach_[static_cast<std::size_t>(p)] == epoch)
+        continue;
+      scratch_pred_reach_[static_cast<std::size_t>(p)] = epoch;
       scratch_queue_.push_back(p);
     }
   }
@@ -381,13 +443,20 @@ insert_position threaded_graph::select_impl(vertex_id v) {
       // Inserting after a node some scheduled G-successor of v already
       // reaches would close a cycle; the predicate is monotone along the
       // thread, so the remaining positions are illegal too.
-      if (scratch_succ_reach_[static_cast<std::size_t>(cur)]) {
+      if (scratch_succ_reach_[static_cast<std::size_t>(cur)] == reach_epoch_) {
         ++stats_.positions_rejected;
         break;
       }
+      // Dominance prune: sdist is monotone along the thread, so once even
+      // the optimistic bound sdist(cur) + dv + intrinsic_snk reaches the
+      // incumbent cost, no later position in this thread can beat it (and
+      // ties never displace the incumbent - select keeps the first
+      // minimum). The chosen position is exactly the unpruned scan's.
+      if (nodes_[static_cast<std::size_t>(cur)].sdist + dv + intrinsic_snk >= best_cost)
+        break;
       const std::int32_t next = out_slot(cur, k);
       // Symmetric guard: next must not reach a scheduled G-predecessor.
-      if (scratch_pred_reach_[static_cast<std::size_t>(next)]) {
+      if (scratch_pred_reach_[static_cast<std::size_t>(next)] == reach_epoch_) {
         ++stats_.positions_rejected;
         continue;
       }
@@ -435,9 +504,11 @@ insert_position threaded_graph::select_naive(vertex_id v) const {
     const std::int32_t tail = base.t_[static_cast<std::size_t>(k)];
     for (std::int32_t cur = base.s_[static_cast<std::size_t>(k)]; cur != tail;
          cur = base.out_slot(cur, k)) {
-      if (base.scratch_succ_reach_[static_cast<std::size_t>(cur)]) break;
+      if (base.scratch_succ_reach_[static_cast<std::size_t>(cur)] == base.reach_epoch_)
+        break;
       const std::int32_t next = base.out_slot(cur, k);
-      if (base.scratch_pred_reach_[static_cast<std::size_t>(next)]) continue;
+      if (base.scratch_pred_reach_[static_cast<std::size_t>(next)] == base.reach_epoch_)
+        continue;
       threaded_graph speculative(base);
       speculative.commit(insert_position{k, cur, 0}, v);
       const long long diam = speculative.diameter();
@@ -619,8 +690,8 @@ bool threaded_graph::position_legal(vertex_id v, const insert_position& pos) {
   long long intrinsic_src = 0;
   long long intrinsic_snk = 0;
   compute_legality_and_intrinsics(v, intrinsic_src, intrinsic_snk);
-  return !scratch_succ_reach_[static_cast<std::size_t>(pos.after)] &&
-         !scratch_pred_reach_[static_cast<std::size_t>(next)];
+  return scratch_succ_reach_[static_cast<std::size_t>(pos.after)] != reach_epoch_ &&
+         scratch_pred_reach_[static_cast<std::size_t>(next)] != reach_epoch_;
 }
 
 insert_position threaded_graph::position_front(int thread) const {
@@ -667,13 +738,18 @@ long long threaded_graph::sink_distance(vertex_id v) {
 }
 
 std::vector<long long> threaded_graph::asap_start_times() {
+  std::vector<long long> start;
+  asap_start_times(start);
+  return start;
+}
+
+void threaded_graph::asap_start_times(std::vector<long long>& out) {
   label();
-  std::vector<long long> start(g_->vertex_count(), -1);
+  out.assign(g_->vertex_count(), -1);
   for (const node& nd : nodes_) {
     if (!nd.gv.valid()) continue;
-    start[nd.gv.value()] = nd.sdist - nd.delay;
+    out[nd.gv.value()] = nd.sdist - nd.delay;
   }
-  return start;
 }
 
 bool threaded_graph::state_precedes(vertex_id a, vertex_id b) const {
@@ -681,8 +757,11 @@ bool threaded_graph::state_precedes(vertex_id a, vertex_id b) const {
   const std::int32_t to = node_of(b);
   SOFTSCHED_EXPECT(from != no_node && to != no_node, "both vertices must be scheduled");
   if (from == to) return true;
-  std::vector<std::uint8_t> seen(nodes_.size(), 0);
-  std::vector<std::int32_t> queue{from};
+  scratch_seen_.assign(nodes_.size(), 0);
+  scratch_bfs_.clear();
+  scratch_bfs_.push_back(from);
+  auto& seen = scratch_seen_;
+  auto& queue = scratch_bfs_;
   seen[static_cast<std::size_t>(from)] = 1;
   while (!queue.empty()) {
     const std::int32_t u = queue.back();

@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/precedence_graph.h"
 #include "graph/reachability.h"
+#include "util/arena.h"
 
 namespace softsched::core {
 
@@ -91,6 +93,18 @@ public:
   /// vertex-compatibility tag function.
   threaded_graph(const precedence_graph& g, std::vector<int> thread_tags,
                  tag_fn vertex_tag);
+
+  /// The master constructor: as above, but every internal array (state
+  /// nodes, slot arrays, closure bitset, scratch) draws from `arena` when
+  /// non-null - the run_context hot path, reclaimed wholesale by
+  /// arena::reset() between runs. A null arena is the plain-heap baseline;
+  /// the two modes are byte-identical in every result (docs/DESIGN.md §8).
+  threaded_graph(const precedence_graph& g, std::span<const int> thread_tags,
+                 tag_fn vertex_tag, util::arena* arena);
+
+  /// Pre-sizes the state arrays for `expected_vertices` scheduled
+  /// operations so a full schedule_all() performs no mid-run growth.
+  void reserve_vertices(std::size_t expected_vertices);
 
   threaded_graph(const threaded_graph&) = default;
   threaded_graph& operator=(const threaded_graph&) = default;
@@ -178,6 +192,9 @@ public:
   /// decision delayed to the desired stage" - the exact operation -> time
   /// step mapping (Section 3).
   [[nodiscard]] std::vector<long long> asap_start_times();
+
+  /// Reusable-output variant: clears `out` and fills it, reusing capacity.
+  void asap_start_times(std::vector<long long>& out);
 
   /// Reachability in the state: a <=S b (reflexive). Both must be
   /// scheduled. O(K * |V|) breadth-first walk; meant for tests/validation.
@@ -291,15 +308,16 @@ private:
 
   const precedence_graph* g_;
   tag_fn vertex_tag_;
-  std::vector<int> thread_tags_;
+  util::arena* arena_ = nullptr; ///< backs every container below; null = heap
+  util::arena_vector<int> thread_tags_;
   int k_ = 0;
 
-  std::vector<node> nodes_;
-  std::vector<std::int32_t> out_; // nodes x K slots, -1 = empty
-  std::vector<std::int32_t> in_;
-  std::vector<std::int32_t> s_;   // per-thread source sentinel node
-  std::vector<std::int32_t> t_;   // per-thread sink sentinel node
-  std::vector<std::int32_t> node_index_; // g vertex value -> node or -1
+  util::arena_vector<node> nodes_;
+  util::arena_vector<std::int32_t> out_; // nodes x K slots, -1 = empty
+  util::arena_vector<std::int32_t> in_;
+  util::arena_vector<std::int32_t> s_;   // per-thread source sentinel node
+  util::arena_vector<std::int32_t> t_;   // per-thread sink sentinel node
+  util::arena_vector<std::int32_t> node_index_; // g vertex value -> node or -1
   std::size_t scheduled_count_ = 0;
 
   std::optional<graph::transitive_closure> closure_;
@@ -313,14 +331,23 @@ private:
   // Scratch buffers reused across schedule() calls to stay allocation-free
   // in the steady state (Theorem 3's constant factors matter in the
   // complexity benchmark).
-  std::vector<std::int32_t> scratch_topo_;
-  std::vector<std::int32_t> scratch_degree_;
-  std::vector<std::uint8_t> scratch_succ_reach_;
-  std::vector<std::uint8_t> scratch_pred_reach_;
-  std::vector<std::int32_t> scratch_queue_;
-  std::vector<std::uint8_t> scratch_queued_;
-  std::vector<std::int32_t> scratch_latest_pred_;   // per thread, see
-  std::vector<std::int32_t> scratch_earliest_succ_; // compute_legality_and_intrinsics
+  util::arena_vector<std::int32_t> scratch_topo_;
+  util::arena_vector<std::int32_t> scratch_degree_;
+  // Reach marks are epoch stamps, not booleans: bumping reach_epoch_
+  // invalidates both arrays in O(1), so a select() never pays an O(n)
+  // clear. A mark means "reached" iff it equals the current epoch.
+  util::arena_vector<std::uint32_t> scratch_succ_reach_;
+  util::arena_vector<std::uint32_t> scratch_pred_reach_;
+  std::uint32_t reach_epoch_ = 0;
+  util::arena_vector<std::int32_t> scratch_queue_;
+  util::arena_vector<std::uint8_t> scratch_queued_;
+  util::arena_vector<std::int32_t> scratch_latest_pred_;   // per thread, see
+  util::arena_vector<std::int32_t> scratch_earliest_succ_; // compute_legality_and_intrinsics
+  // Query scratch (state_precedes / labels_match_full_relabel are logically
+  // const validators; their buffers are cost, not state).
+  mutable util::arena_vector<std::uint8_t> scratch_seen_;
+  mutable util::arena_vector<std::int32_t> scratch_bfs_;
+  util::arena_vector<std::pair<long long, long long>> scratch_labels_;
 };
 
 } // namespace softsched::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "util/check.h"
@@ -63,6 +64,14 @@ point_result run_point(const grid_spec& spec, const design_point& point,
 point_result run_point(const grid_spec& spec, const design_point& point,
                        const sched::scheduler_backend& backend,
                        const sched::backend_options& options) {
+  sched::run_context ctx(sched::arena_mode::off); // one-shot: skip the block grab
+  return run_point(spec, point, backend, options, ctx);
+}
+
+point_result run_point(const grid_spec& spec, const design_point& point,
+                       const sched::scheduler_backend& backend,
+                       const sched::backend_options& options,
+                       sched::run_context& ctx) {
   SOFTSCHED_EXPECT(options.meta != meta::meta_kind::random,
                    "exploration needs a deterministic meta schedule");
   point_result r;
@@ -79,7 +88,8 @@ point_result run_point(const grid_spec& spec, const design_point& point,
   r.ops = design.op_count();
 
   const auto t0 = clock_type::now();
-  sched::backend_outcome outcome = backend.run(design, library, point.resources, options);
+  sched::backend_outcome outcome =
+      backend.run({design, library, point.resources, options}, ctx);
   r.wall_ms = millis_since(t0);
   r.feasible = outcome.feasible;
   r.infeasible_reason = std::move(outcome.infeasible_reason);
@@ -125,10 +135,24 @@ exploration_result run_exploration(const grid_spec& spec,
   {
     // Each job writes only its own pre-allocated slot, so the result vector
     // needs no lock and the outcome no longer depends on completion order.
+    // Per-worker run_contexts ride along: worker i owns slot i, the
+    // submitting thread the extra slot (parallel_for_index runs inline for
+    // a 1-worker pool), and a context never changes a point's values.
     thread_pool pool(out.jobs);
+    const auto mode = options.arena ? sched::arena_mode::on : sched::arena_mode::off;
+    const std::size_t block = options.arena_block_bytes > 0
+                                  ? options.arena_block_bytes
+                                  : util::arena::default_block_bytes;
+    std::vector<std::unique_ptr<sched::run_context>> contexts;
+    contexts.reserve(out.jobs + 1);
+    for (unsigned c = 0; c <= out.jobs; ++c)
+      contexts.push_back(std::make_unique<sched::run_context>(mode, block));
     parallel_for_index(&pool, total, [&](std::size_t i) {
       const std::size_t b = i / points.size();
-      out.points[i] = run_point(spec, points[i % points.size()], *backends[b], bopt);
+      const int worker = thread_pool::current_worker_index();
+      sched::run_context& ctx =
+          *contexts[worker >= 0 ? static_cast<std::size_t>(worker) : out.jobs];
+      out.points[i] = run_point(spec, points[i % points.size()], *backends[b], bopt, ctx);
     });
   }
   out.wall_ms = millis_since(t0);

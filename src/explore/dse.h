@@ -71,6 +71,10 @@ struct exploration_options {
   /// sched::backend_names()); empty means {"soft"}. Unknown names throw
   /// precondition_error before any point runs.
   std::vector<std::string> backends = {};
+  /// Per-worker run_context arenas (off = the heap baseline); never changes
+  /// a point's values - the jobs-1-vs-jobs-N property holds either way.
+  bool arena = true;
+  std::size_t arena_block_bytes = 0; ///< 0 = util::arena::default_block_bytes
 };
 
 /// Schedules one grid point in isolation with the soft scheduler (also the
@@ -81,7 +85,15 @@ struct exploration_options {
                                      meta::meta_kind meta);
 
 /// Backend-parameterized variant: same isolation contract, any registered
-/// scheduler backend.
+/// scheduler backend. `ctx` is the calling worker's scratch (the engine
+/// keeps one per pool worker); it never changes the point's values, only
+/// where the run's memory comes from.
+[[nodiscard]] point_result run_point(const grid_spec& spec, const design_point& point,
+                                     const sched::scheduler_backend& backend,
+                                     const sched::backend_options& options,
+                                     sched::run_context& ctx);
+
+/// One-shot variant on a private heap-mode context.
 [[nodiscard]] point_result run_point(const grid_spec& spec, const design_point& point,
                                      const sched::scheduler_backend& backend,
                                      const sched::backend_options& options);

@@ -8,8 +8,17 @@
 
 namespace softsched::graph {
 
-transitive_closure::transitive_closure(const precedence_graph& g)
-    : n_(g.vertex_count()), words_((n_ + 63) / 64), bits_(n_ * words_, 0) {
+transitive_closure::transitive_closure(const precedence_graph& g, util::arena* a)
+    : bits_(util::arena_allocator<std::uint64_t>(a)) {
+  build(g);
+}
+
+void transitive_closure::rebuild(const precedence_graph& g) { build(g); }
+
+void transitive_closure::build(const precedence_graph& g) {
+  n_ = g.vertex_count();
+  words_ = (n_ + 63) / 64;
+  bits_.assign(n_ * words_, 0); // reuses capacity on a rebuild
   // Process vertices in reverse topological order; each row is the union of
   // successor rows plus the vertex itself.
   const std::vector<vertex_id> order = topological_order(g);
@@ -31,7 +40,7 @@ std::size_t transitive_closure::pair_count() const {
 }
 
 void transitive_closure::widen_rows(std::size_t new_words) {
-  std::vector<std::uint64_t> wide(n_ * new_words, 0);
+  util::arena_vector<std::uint64_t> wide(n_ * new_words, 0, bits_.get_allocator());
   for (std::size_t r = 0; r < n_; ++r)
     std::copy_n(bits_.begin() + static_cast<std::ptrdiff_t>(r * words_), words_,
                 wide.begin() + static_cast<std::ptrdiff_t>(r * new_words));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/precedence_graph.h"
+#include "util/arena.h"
 
 namespace softsched::graph {
 
@@ -23,8 +24,15 @@ namespace softsched::graph {
 /// reflexive partial order <=G used throughout the paper.
 class transitive_closure {
 public:
-  /// Builds the closure. Throws graph_error on cycles.
-  explicit transitive_closure(const precedence_graph& g);
+  /// Builds the closure. Throws graph_error on cycles. With a non-null
+  /// arena the bitset rows live in that arena (the run_context hot path);
+  /// null keeps plain heap storage - results are identical either way.
+  explicit transitive_closure(const precedence_graph& g, util::arena* a = nullptr);
+
+  /// Rebuilds this closure over `g` from scratch, reusing the existing
+  /// bitset storage when it is large enough - the allocation-free
+  /// equivalent of *this = transitive_closure(g) for a warmed-up instance.
+  void rebuild(const precedence_graph& g);
 
   /// u <=G v (reflexive). Defined inline: the schedulers call this once
   /// per (scheduled node, candidate) pair, so the bit test must not cost a
@@ -96,9 +104,11 @@ private:
   }
   void widen_rows(std::size_t new_words);
 
+  void build(const precedence_graph& g);
+
   std::size_t n_ = 0;
   std::size_t words_ = 0; // row stride; may exceed (n_ + 63) / 64 (growth slack)
-  std::vector<std::uint64_t> bits_;
+  util::arena_vector<std::uint64_t> bits_;
 };
 
 } // namespace softsched::graph

@@ -1,9 +1,7 @@
 #include "meta/meta_schedule.h"
 
-#include <queue>
-#include <tuple>
+#include <algorithm>
 
-#include "graph/distances.h"
 #include "graph/topo.h"
 #include "util/check.h"
 
@@ -20,34 +18,80 @@ std::string_view meta_name(meta_kind kind) noexcept {
   return "unknown";
 }
 
-std::vector<vertex_id> list_priority_order(const precedence_graph& g) {
-  const graph::distance_labels labels = graph::compute_distances(g);
+namespace {
+
+/// The one list-priority implementation, on caller-owned buffers. The
+/// allocating list_priority_order wraps it, so the allocation-free serve
+/// path cannot drift from the documented order.
+void list_priority_into(const precedence_graph& g, meta_scratch& s,
+                        std::vector<vertex_id>& out) {
   const std::size_t n = g.vertex_count();
-  std::vector<std::size_t> in_degree(n);
-  for (const vertex_id v : g.vertices()) in_degree[v.value()] = g.preds(v).size();
+
+  // Forward topological order (Kahn) into s.topo, then sink distances by a
+  // backward sweep - the same labels graph::compute_distances produces,
+  // without its temporaries.
+  s.degree.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    s.degree[i] = static_cast<std::int32_t>(g.preds(vertex_id(static_cast<std::uint32_t>(i))).size());
+  s.topo.clear();
+  s.topo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (s.degree[i] == 0) s.topo.push_back(static_cast<std::int32_t>(i));
+  for (std::size_t head = 0; head < s.topo.size(); ++head) {
+    const vertex_id u(static_cast<std::uint32_t>(s.topo[head]));
+    for (const vertex_id w : g.succs(u))
+      if (--s.degree[w.value()] == 0) s.topo.push_back(static_cast<std::int32_t>(w.value()));
+  }
+  if (s.topo.size() != n) throw graph_error("list_priority_order: graph contains a cycle");
+  s.tdist.assign(n, 0);
+  for (auto it = s.topo.rbegin(); it != s.topo.rend(); ++it) {
+    const vertex_id v(static_cast<std::uint32_t>(*it));
+    long long best = 0;
+    for (const vertex_id q : g.succs(v)) best = std::max(best, s.tdist[q.value()]);
+    s.tdist[static_cast<std::size_t>(*it)] = best + g.delay(v);
+  }
 
   // Max-heap on (sink distance, then lowest id) - the classic critical-path
-  // list scheduling priority.
-  using entry = std::tuple<long long, std::uint32_t>;
-  auto cmp = [](const entry& a, const entry& b) {
-    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
-    return std::get<1>(a) > std::get<1>(b);
+  // list scheduling priority. push_heap/pop_heap on the scratch vector is
+  // exactly what std::priority_queue did here before; the comparator is a
+  // strict total order (ids are unique), so the popped sequence is
+  // identical on any conforming heap.
+  using entry = std::pair<long long, std::uint32_t>;
+  const auto cmp = [](const entry& a, const entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
   };
-  std::priority_queue<entry, std::vector<entry>, decltype(cmp)> ready(cmp);
+  s.degree.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i)
-    if (in_degree[i] == 0)
-      ready.emplace(labels.tdist[i], static_cast<std::uint32_t>(i));
+    s.degree[i] = static_cast<std::int32_t>(g.preds(vertex_id(static_cast<std::uint32_t>(i))).size());
+  s.heap.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    if (s.degree[i] == 0) {
+      s.heap.emplace_back(s.tdist[i], static_cast<std::uint32_t>(i));
+      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+    }
 
-  std::vector<vertex_id> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const vertex_id u(std::get<1>(ready.top()));
-    ready.pop();
-    order.push_back(u);
+  out.clear();
+  out.reserve(n);
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), cmp);
+    const vertex_id u(s.heap.back().second);
+    s.heap.pop_back();
+    out.push_back(u);
     for (const vertex_id w : g.succs(u))
-      if (--in_degree[w.value()] == 0) ready.emplace(labels.tdist[w.value()], w.value());
+      if (--s.degree[w.value()] == 0) {
+        s.heap.emplace_back(s.tdist[w.value()], w.value());
+        std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+      }
   }
-  if (order.size() != n) throw graph_error("list_priority_order: graph contains a cycle");
+}
+
+} // namespace
+
+std::vector<vertex_id> list_priority_order(const precedence_graph& g) {
+  meta_scratch scratch;
+  std::vector<vertex_id> order;
+  list_priority_into(g, scratch, order);
   return order;
 }
 
@@ -67,6 +111,15 @@ std::vector<vertex_id> meta_schedule(const precedence_graph& g, meta_kind kind) 
     throw precondition_error("random meta schedule needs an rng; call random_meta_schedule");
   }
   throw precondition_error("unknown meta schedule kind");
+}
+
+void meta_schedule(const precedence_graph& g, meta_kind kind, meta_scratch& scratch,
+                   std::vector<vertex_id>& out) {
+  if (kind == meta_kind::list_priority) {
+    list_priority_into(g, scratch, out);
+    return;
+  }
+  out = meta_schedule(g, kind); // non-default kinds keep the allocating path
 }
 
 std::vector<vertex_id> random_meta_schedule(const precedence_graph& g, rng& rand) {

@@ -43,6 +43,23 @@ inline constexpr meta_kind figure3_meta_kinds[] = {
 [[nodiscard]] std::vector<vertex_id> meta_schedule(const precedence_graph& g,
                                                    meta_kind kind);
 
+/// Internal buffers of the allocation-free meta_schedule overload. One
+/// instance per worker (it lives inside sched::run_context); reuse across
+/// runs is what keeps the serve hot path heap-silent.
+struct meta_scratch {
+  std::vector<long long> tdist;
+  std::vector<std::int32_t> topo;
+  std::vector<std::int32_t> degree;
+  std::vector<std::pair<long long, std::uint32_t>> heap;
+};
+
+/// Allocation-free variant: clears `out` and fills it with the same order
+/// meta_schedule(g, kind) returns, reusing `out` and `scratch` capacity.
+/// (list_priority runs entirely on the scratch buffers - it is the serve
+/// default; the other kinds fall back to the allocating helpers.)
+void meta_schedule(const precedence_graph& g, meta_kind kind, meta_scratch& scratch,
+                   std::vector<vertex_id>& out);
+
 /// Random meta order.
 [[nodiscard]] std::vector<vertex_id> random_meta_schedule(const precedence_graph& g,
                                                           rng& rand);

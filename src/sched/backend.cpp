@@ -42,25 +42,32 @@ public:
             .time_constrained = false};
   }
 
-  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
-                                    const ir::resource_set& resources,
-                                    const backend_options& options) const override {
-    SOFTSCHED_EXPECT(options.meta != meta::meta_kind::random,
+  [[nodiscard]] backend_outcome run(const run_request& request,
+                                    run_context& ctx) const override {
+    SOFTSCHED_EXPECT(request.options.meta != meta::meta_kind::random,
                      "backend runs need a deterministic meta schedule");
+    ctx.begin_run();
+    const ir::dfg& d = request.design;
     backend_outcome r;
     try {
-      core::threaded_graph state = core::make_hls_state(d, resources);
+      ctx.state.emplace(
+          core::make_hls_state(d, request.resources, ctx.arena(), ctx.thread_tags));
+      core::threaded_graph& state = *ctx.state;
       // Wire pseudo-ops each need their dedicated thread before scheduling
       // (hls_binding contract) - inline .dfg designs may carry them.
-      for (const vertex_id v : d.graph().vertices())
-        if (d.kind(v) == ir::op_kind::wire) core::add_wire_thread(state, v);
-      state.schedule_all(meta::meta_schedule(d.graph(), options.meta));
+      const auto n = static_cast<std::uint32_t>(d.op_count());
+      for (std::uint32_t i = 0; i < n; ++i)
+        if (d.kind(vertex_id(i)) == ir::op_kind::wire)
+          core::add_wire_thread(state, vertex_id(i));
+      meta::meta_schedule(d.graph(), request.options.meta, ctx.meta, ctx.meta_order);
+      state.schedule_all(ctx.meta_order);
       r.latency = state.diameter();
-      r.start_times = state.asap_start_times();
-      r.unit_of.reserve(d.op_count());
-      for (const vertex_id v : d.graph().vertices())
-        r.unit_of.push_back(state.thread_of(v));
+      state.asap_start_times(r.start_times);
+      r.unit_of.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i)
+        r.unit_of.push_back(state.thread_of(vertex_id(i)));
       r.stats = state.stats();
+      ctx.accumulate(r.stats);
       r.feasible = true;
     } catch (const infeasible_error& e) {
       r.infeasible_reason = e.what();
@@ -82,11 +89,11 @@ public:
             .time_constrained = false};
   }
 
-  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
-                                    const ir::resource_set& resources,
-                                    const backend_options&) const override {
+  [[nodiscard]] backend_outcome run(const run_request& request,
+                                    run_context& ctx) const override {
+    ctx.begin_run(); // hard backends still honor the context contract
     try {
-      return outcome_from_hard(hard::list_schedule(d, resources));
+      return outcome_from_hard(hard::list_schedule(request.design, request.resources));
     } catch (const infeasible_error& e) {
       backend_outcome r;
       r.infeasible_reason = e.what();
@@ -108,9 +115,12 @@ public:
             .time_constrained = true};
   }
 
-  [[nodiscard]] backend_outcome run(const ir::dfg& d, const ir::resource_library&,
-                                    const ir::resource_set& resources,
-                                    const backend_options& options) const override {
+  [[nodiscard]] backend_outcome run(const run_request& request,
+                                    run_context& ctx) const override {
+    ctx.begin_run(); // hard backends still honor the context contract
+    const ir::dfg& d = request.design;
+    const ir::resource_set& resources = request.resources;
+    const backend_options& options = request.options;
     backend_outcome r;
     // Same zero-unit screen as the other backends: FDS itself is
     // time-constrained and would happily "fit" an allocation with no units

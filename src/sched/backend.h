@@ -7,14 +7,17 @@
 //
 // A backend is a stateless, deterministic strategy object:
 //
-//   run(dfg, resource_library, allocation, options) -> backend_outcome
+//   run(run_request, run_context&) -> backend_outcome
 //
-// The DFG arrives with delays already baked from the library (latency
-// variants therefore change the input, not the backend); the allocation is
-// the unit constraint every backend must respect. Outcomes use one shape -
-// per-op start cycles, per-op unit binding (-1 = unbound, e.g. FDS), final
-// latency in states, and the soft kernel's schedule_stats (zero for hard
-// backends) - so results are directly comparable and cacheable.
+// run_request (sched/run_context.h) aggregates the design, the library its
+// delays were baked from, the unit allocation, and the per-run options.
+// run_context is the caller-owned per-worker scratch object - arena plus
+// staging buffers - the backend may burn through; it never changes the
+// outcome, only its cost (arena on/off is byte-for-byte cross-validated).
+// Outcomes use one shape - per-op start cycles, per-op unit binding
+// (-1 = unbound, e.g. FDS), final latency in states, and the soft kernel's
+// schedule_stats (zero for hard backends) - so results are directly
+// comparable and cacheable.
 //
 // Registration is static: registered_backends() returns the fixed registry
 // in a stable order, and each backend's registry index feeds the serve
@@ -34,6 +37,7 @@
 #include "ir/dfg.h"
 #include "ir/resource.h"
 #include "meta/meta_schedule.h"
+#include "sched/run_context.h"
 
 namespace softsched::sched {
 
@@ -44,16 +48,6 @@ struct backend_caps {
   bool uses_meta = false;   ///< consumes the meta feed order (soft only)
   bool refinable = false;   ///< schedule stays soft / live-refinable
   bool time_constrained = false; ///< accepts an explicit latency budget (FDS)
-};
-
-/// Per-run knobs. Fields a backend does not consume are ignored (but still
-/// participate in the serve cache key via the meta salt - see
-/// backend_option_salt).
-struct backend_options {
-  meta::meta_kind meta = meta::meta_kind::list_priority; ///< soft feed order; never `random`
-  /// Force-directed latency budget; -1 = search the smallest budget whose
-  /// FDS schedule fits the allocation (what makes FDS resource-comparable).
-  long long fds_latency = -1;
 };
 
 /// The uniform scheduling outcome. Infeasible allocations are a reported
@@ -77,8 +71,9 @@ struct backend_outcome {
 [[nodiscard]] hard::schedule to_hard_schedule(const backend_outcome& outcome);
 
 /// One scheduler strategy. Implementations are stateless and deterministic:
-/// run() is a pure function of its arguments, so outcomes are cacheable by
-/// content (serve) and reproducible for any worker count (explore).
+/// the outcome of run() is a pure function of the request - the context
+/// only changes where scratch memory comes from - so outcomes are cacheable
+/// by content (serve) and reproducible for any worker count (explore).
 class scheduler_backend {
 public:
   virtual ~scheduler_backend() = default;
@@ -87,15 +82,13 @@ public:
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
   [[nodiscard]] virtual backend_caps caps() const noexcept = 0;
 
-  /// Schedules `d` under `resources`. `library` is the resource library the
-  /// DFG's delays were baked from (hard backends that re-derive per-kind
-  /// latencies may consult it; the bundled backends only need the baked
-  /// delays). Must not throw on an infeasible allocation - that is an
-  /// outcome. Throws graph_error on a cyclic input.
-  [[nodiscard]] virtual backend_outcome run(const ir::dfg& d,
-                                            const ir::resource_library& library,
-                                            const ir::resource_set& resources,
-                                            const backend_options& options) const = 0;
+  /// Schedules request.design under request.resources, staging all
+  /// per-run state in `ctx` (calls ctx.begin_run() on entry, so the
+  /// previous run's scratch is recycled). Must not throw on an infeasible
+  /// allocation - that is an outcome. Throws graph_error on a cyclic
+  /// input. `ctx` must not be shared across threads.
+  [[nodiscard]] virtual backend_outcome run(const run_request& request,
+                                            run_context& ctx) const = 0;
 };
 
 /// The registry, in stable registration order: soft (index 0), list (1),
@@ -129,7 +122,8 @@ public:
 /// for every (backend, meta) pair so "no salt" stays distinguishable, and
 /// the soft backend with any meta produces the exact salts the
 /// pre-registry engine used (cache keys for soft requests are unchanged
-/// across the refactor).
+/// across the refactor). The arena mode of the context is deliberately
+/// NOT in the salt: it cannot change the outcome.
 [[nodiscard]] std::uint64_t backend_option_salt(const scheduler_backend& backend,
                                                 meta::meta_kind meta);
 

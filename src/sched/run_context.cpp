@@ -1,0 +1,34 @@
+#include "sched/run_context.h"
+
+namespace softsched::sched {
+
+run_context::run_context(arena_mode mode, std::size_t arena_block_bytes)
+    : arena_(mode == arena_mode::on ? std::make_unique<util::arena>(arena_block_bytes)
+                                    : nullptr) {}
+
+run_context::~run_context() {
+  // The state's vectors deallocate into the arena (a no-op), so it must
+  // still be alive when they die: reset the optional before arena_ goes.
+  state.reset();
+}
+
+void run_context::begin_run() {
+  state.reset(); // storage lives in the arena; destroy before the rewind
+  if (arena_ != nullptr) arena_->reset();
+  ++runs_;
+}
+
+void run_context::accumulate(const core::schedule_stats& s) noexcept {
+  totals.select_calls += s.select_calls;
+  totals.positions_scanned += s.positions_scanned;
+  totals.positions_rejected += s.positions_rejected;
+  totals.commits += s.commits;
+  totals.label_passes += s.label_passes;
+  totals.cross_edge_updates += s.cross_edge_updates;
+  totals.nodes_relabeled += s.nodes_relabeled;
+  totals.closure_rebuilds += s.closure_rebuilds;
+  totals.closure_syncs += s.closure_syncs;
+  totals.closure_rows_touched += s.closure_rows_touched;
+}
+
+} // namespace softsched::sched

@@ -163,6 +163,18 @@ service::service(const service_options& options)
     disk_ = std::make_unique<disk_cache>(disk);
   }
   pool_ = std::make_unique<thread_pool>(jobs_);
+  const auto mode = options_.arena ? sched::arena_mode::on : sched::arena_mode::off;
+  const std::size_t block = options_.arena_block_bytes > 0
+                                ? options_.arena_block_bytes
+                                : util::arena::default_block_bytes;
+  contexts_.reserve(jobs_ + 1);
+  for (unsigned i = 0; i <= jobs_; ++i)
+    contexts_.push_back(std::make_unique<sched::run_context>(mode, block));
+}
+
+sched::run_context& service::context_for_current_thread() noexcept {
+  const int worker = thread_pool::current_worker_index();
+  return *contexts_[worker >= 0 ? static_cast<std::size_t>(worker) : jobs_];
 }
 
 service::~service() {
@@ -359,8 +371,8 @@ void service::process(std::uint64_t seq, const std::string& text, const callback
         f.result = std::move(cached);
       } else {
         const auto t0 = clock_type::now();
-        f.result = std::make_shared<const schedule_result>(
-            compute_canonical_schedule(req, source.canonical_of));
+        f.result = std::make_shared<const schedule_result>(compute_canonical_schedule(
+            req, source.canonical_of, context_for_current_thread()));
         compute_ms = millis_since(t0);
         if (shard_available) cache_.insert(r.key, f.result);
         if (disk_ != nullptr) disk_->enqueue(r.key, f.result); // write-behind

@@ -131,6 +131,12 @@ struct service_options {
   std::string cache_dir;
   std::size_t disk_cache_bytes = 0;
   std::size_t disk_flush_queue = 256; ///< write-behind bound (>= 1)
+
+  // Per-worker scheduling arenas (docs/DESIGN.md §8), same semantics as
+  // engine_options: off = the cross-validated heap baseline; the mode can
+  // never change a response byte.
+  bool arena = true;
+  std::size_t arena_block_bytes = 0; ///< 0 = util::arena::default_block_bytes
 };
 
 /// The resident scheduling service: bounded-queue admission, streaming
@@ -198,12 +204,16 @@ private:
   void complete(response r, const callback& done,
                 std::chrono::steady_clock::time_point admitted_at);
   [[nodiscard]] source_info lookup_source(const request& req);
+  /// Pool worker i owns contexts_[i]; any non-pool thread the extra slot.
+  [[nodiscard]] sched::run_context& context_for_current_thread() noexcept;
 
   service_options options_;
   unsigned jobs_ = 1;
   schedule_cache cache_;
   std::unique_ptr<disk_cache> disk_; ///< null when the persistent tier is off
   std::unique_ptr<thread_pool> pool_;
+  /// jobs_ + 1 per-worker scheduling contexts (see context_for_current_thread).
+  std::vector<std::unique_ptr<sched::run_context>> contexts_;
   std::chrono::steady_clock::time_point started_at_;
 
   // Admission + drain bookkeeping. queue_depth_ = admitted - completed;

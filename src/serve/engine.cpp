@@ -39,7 +39,8 @@ double millis_since(clock_type::time_point t0) {
 /// request A would both misalign the arrays and break cache-size
 /// independence.
 schedule_result compute_canonical_schedule(const request& req,
-                                           const std::vector<std::uint32_t>& canonical_of) {
+                                           const std::vector<std::uint32_t>& canonical_of,
+                                           sched::run_context& ctx) {
   schedule_result r;
   ir::resource_library library;
   library.set_latency(ir::op_kind::mul, req.mul_latency);
@@ -51,8 +52,8 @@ schedule_result compute_canonical_schedule(const request& req,
   r.ops = design.op_count();
   sched::backend_options options;
   options.meta = req.meta;
-  sched::backend_outcome outcome =
-      sched::get_backend(req.backend).run(design, library, req.resources, options);
+  sched::backend_outcome outcome = sched::get_backend(req.backend)
+                                       .run({design, library, req.resources, options}, ctx);
   r.feasible = outcome.feasible;
   r.infeasible_reason = std::move(outcome.infeasible_reason);
   r.latency = outcome.latency;
@@ -60,6 +61,12 @@ schedule_result compute_canonical_schedule(const request& req,
   r.unit_of = std::move(outcome.unit_of);
   r.stats = outcome.stats;
   return r;
+}
+
+schedule_result compute_canonical_schedule(const request& req,
+                                           const std::vector<std::uint32_t>& canonical_of) {
+  sched::run_context ctx(sched::arena_mode::off); // one-shot: skip the block grab
+  return compute_canonical_schedule(req, canonical_of, ctx);
 }
 
 schedule_result result_to_source_order(const schedule_result& canonical,
@@ -139,6 +146,18 @@ engine::engine(const engine_options& options)
     disk_ = std::make_unique<disk_cache>(disk);
   }
   if (jobs_ > 1) pool_ = std::make_unique<thread_pool>(jobs_);
+  const auto mode = options_.arena ? sched::arena_mode::on : sched::arena_mode::off;
+  const std::size_t block = options_.arena_block_bytes > 0
+                                ? options_.arena_block_bytes
+                                : util::arena::default_block_bytes;
+  contexts_.reserve(jobs_ + 1);
+  for (unsigned i = 0; i <= jobs_; ++i)
+    contexts_.push_back(std::make_unique<sched::run_context>(mode, block));
+}
+
+sched::run_context& engine::context_for_current_thread() noexcept {
+  const int worker = thread_pool::current_worker_index();
+  return *contexts_[worker >= 0 ? static_cast<std::size_t>(worker) : jobs_];
 }
 
 engine::~engine() = default;
@@ -272,8 +291,8 @@ std::vector<response> engine::run_batch(const std::vector<batch_line>& lines) {
     unique_work& u = uniques[to_compute[k]];
     const auto t0 = clock_type::now();
     try {
-      u.result = std::make_shared<const schedule_result>(
-          compute_canonical_schedule(reqs[u.rep], memos[u.rep]->canonical_of));
+      u.result = std::make_shared<const schedule_result>(compute_canonical_schedule(
+          reqs[u.rep], memos[u.rep]->canonical_of, context_for_current_thread()));
     } catch (const std::exception& e) {
       u.error = e.what(); // should be unreachable: the source already built once
     }

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sched/run_context.h"
 #include "serve/cache.h"
 #include "serve/diskcache.h"
 #include "serve/request.h"
@@ -41,6 +42,12 @@ struct engine_options {
   unsigned cache_shards = 16;
   std::size_t batch_size = 64;             ///< requests per dispatch wave; 0 = whole stream
   bool emit_schedule = true;               ///< include start/unit arrays in JSONL output
+
+  // Per-worker scheduling arenas (docs/DESIGN.md §8). Off = the heap
+  // baseline the nightly storm cross-validates against; the mode cannot
+  // change a single response byte, only allocation traffic and `ms`.
+  bool arena = true;
+  std::size_t arena_block_bytes = 0; ///< 0 = util::arena::default_block_bytes
 
   // Persistent tier (docs/SERVING.md "Persistence"): enabled iff cache_dir
   // is non-empty and disk_cache_bytes > 0. Because caching is never
@@ -98,9 +105,16 @@ struct source_info {
 [[nodiscard]] ir::dfg_digest schedule_key_for(const request& req,
                                               const ir::dfg_digest& digest);
 
-/// Runs the request's scheduler backend in canonical space, share-nothing
-/// (safe to call concurrently from any thread). Throws on internal failure
-/// (unreachable once the source built).
+/// Runs the request's scheduler backend in canonical space, staging all
+/// per-run state in `ctx`. Share-nothing as long as each thread brings its
+/// own context (the engine keeps one per worker). Throws on internal
+/// failure (unreachable once the source built).
+[[nodiscard]] schedule_result compute_canonical_schedule(
+    const request& req, const std::vector<std::uint32_t>& canonical_of,
+    sched::run_context& ctx);
+
+/// Convenience overload for one-shot callers (tests, the daemon's warmup):
+/// runs on a private heap-mode context.
 [[nodiscard]] schedule_result compute_canonical_schedule(
     const request& req, const std::vector<std::uint32_t>& canonical_of);
 
@@ -187,11 +201,19 @@ private:
   std::size_t drain_stream(std::istream& in,
                            const std::function<void(std::vector<response>)>& sink);
 
+  /// The calling thread's run_context: pool worker i owns contexts_[i],
+  /// every other thread (jobs_ == 1, or the submitting thread between
+  /// waves) owns the extra slot contexts_[jobs_]. Lock-free because a
+  /// context is only ever touched by the one thread that owns its slot.
+  [[nodiscard]] sched::run_context& context_for_current_thread() noexcept;
+
   engine_options options_;
   unsigned jobs_ = 1;
   schedule_cache cache_;
   std::unique_ptr<disk_cache> disk_; ///< null when the persistent tier is off
   std::unique_ptr<thread_pool> pool_; ///< null when jobs_ == 1
+  /// jobs_ + 1 per-worker scheduling contexts (see context_for_current_thread).
+  std::vector<std::unique_ptr<sched::run_context>> contexts_;
   engine_counters counters_;
 
   // Source-signature -> canonical digest memo: the hot path hashes each

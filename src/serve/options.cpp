@@ -4,7 +4,22 @@
 
 namespace softsched::serve {
 
+arena_flag parse_arena_flag(const std::string& value) {
+  if (value == "on") return {true, 0};
+  if (value == "off") return {false, 0};
+  std::size_t bytes = 0;
+  for (const char c : value) {
+    SOFTSCHED_EXPECT(c >= '0' && c <= '9',
+                     "--arena must be on, off, or a positive block byte count");
+    bytes = bytes * 10 + static_cast<std::size_t>(c - '0');
+  }
+  SOFTSCHED_EXPECT(!value.empty() && bytes > 0,
+                   "--arena must be on, off, or a positive block byte count");
+  return {true, bytes};
+}
+
 void validate_serve_flags(const serve_flags& flags) {
+  (void)parse_arena_flag(flags.arena); // throws on a malformed value
   SOFTSCHED_EXPECT(flags.cache_mb >= 0, "--cache-mb must be >= 0");
   SOFTSCHED_EXPECT(flags.disk_cache_mb >= 0, "--disk-cache-mb must be >= 0");
   SOFTSCHED_EXPECT(flags.serve_batch_size >= 0, "--serve-batch-size must be >= 0");
@@ -30,6 +45,9 @@ engine_options engine_options_from_flags(const serve_flags& flags) {
   // Only the io= family applies to the batch engine (slot/shard/conn
   // target the daemon); it is consumed exclusively by the disk tier.
   opt.disk_faults = fault_plan::from_env().io;
+  const arena_flag arena = parse_arena_flag(flags.arena);
+  opt.arena = arena.enabled;
+  opt.arena_block_bytes = arena.block_bytes;
   return opt;
 }
 
@@ -43,6 +61,9 @@ daemon_options daemon_options_from_flags(const serve_flags& flags) {
   opt.service.faults = fault_plan::from_env();
   opt.service.cache_dir = flags.cache_dir;
   opt.service.disk_cache_bytes = static_cast<std::size_t>(flags.disk_cache_mb) << 20;
+  const arena_flag arena = parse_arena_flag(flags.arena);
+  opt.service.arena = arena.enabled;
+  opt.service.arena_block_bytes = arena.block_bytes;
   opt.ordered = flags.serve_ordered;
   opt.max_connections = static_cast<std::size_t>(flags.max_conns);
   return opt;

@@ -30,7 +30,20 @@ struct serve_flags {
   bool serve_compact = false; ///< --serve-compact
   std::string cache_dir;      ///< --cache-dir (empty = disk tier off)
   std::string listen = "stdio"; ///< --listen (stdio | tcp:HOST:PORT | unix:PATH)
+  std::string arena = "on";   ///< --arena (on | off | <block bytes>)
 };
+
+/// --arena, parsed: on (default block size), off (heap baseline), or a
+/// positive byte count selecting the arena block size. Shared by the serve
+/// surface and the CLI's single-run/compare modes so the grammar exists
+/// exactly once.
+struct arena_flag {
+  bool enabled = true;
+  std::size_t block_bytes = 0; ///< 0 = util::arena::default_block_bytes
+};
+
+/// Throws precondition_error on anything but on | off | positive integer.
+[[nodiscard]] arena_flag parse_arena_flag(const std::string& value);
 
 /// The single error path: throws precondition_error naming the offending
 /// flag for any out-of-range value or malformed --listen spec. Both

@@ -1,0 +1,30 @@
+// alloc_count.h - process-wide heap-allocation counting for the memory
+// micro-profile (bench/perf_harness "memory" block) and the instrumented
+// allocation-regression test.
+//
+// Linking the companion TU (the `softsched_alloc_count` library) replaces
+// the global operator new/delete with counting versions backed by malloc/
+// free - ASan and UBSan still interpose at the malloc layer, so the nightly
+// sanitizer jobs run the instrumented binaries unchanged. Binaries that do
+// not link the library are unaffected; referencing heap_alloc_count() is
+// what pulls the replacement in (same-TU rule for static archives).
+//
+// Counters are relaxed atomics: the consumers diff them around a
+// single-threaded measured region, so cross-thread ordering is irrelevant
+// and the probe stays invisible in the measured cost.
+#pragma once
+
+#include <cstdint>
+
+namespace softsched::util {
+
+/// operator new calls since process start.
+[[nodiscard]] std::uint64_t heap_alloc_count() noexcept;
+
+/// Bytes requested from operator new since process start.
+[[nodiscard]] std::uint64_t heap_alloc_bytes() noexcept;
+
+/// operator delete calls since process start.
+[[nodiscard]] std::uint64_t heap_free_count() noexcept;
+
+} // namespace softsched::util

@@ -1,0 +1,107 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace softsched::util {
+
+namespace {
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+[[nodiscard]] std::size_t align_up(std::size_t offset, std::size_t align) noexcept {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+// Offsets below are computed against the block's *address*, not just its
+// used counter: storage is only max_align_t-aligned, so an over-aligned
+// request must fold the base address into the alignment arithmetic.
+
+arena::arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, 64)),
+      next_block_bytes_(block_bytes_) {}
+
+arena::~arena() = default;
+
+void* arena::allocate(std::size_t bytes, std::size_t align) {
+  SOFTSCHED_EXPECT(is_power_of_two(align), "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1; // unique pointers, matching operator new
+  if (active_ > 0) {
+    block& b = blocks_[active_ - 1];
+    const auto base = reinterpret_cast<std::uintptr_t>(b.storage.get());
+    const std::size_t offset =
+        static_cast<std::size_t>(align_up(base + b.used, align) - base);
+    if (offset + bytes <= b.capacity) {
+      b.used = offset + bytes;
+      ++stats_.allocations;
+      stats_.bytes += bytes;
+      live_bytes_ += bytes;
+      stats_.peak_bytes = std::max(stats_.peak_bytes, live_bytes_);
+      return b.storage.get() + offset;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Try the retained blocks first (reset() rewound them); a request that
+  // fits nowhere gets a new block - geometric growth for normal sizes, an
+  // exact-size dedicated block for oversize requests, so one huge closure
+  // bitset cannot force every later block to its size.
+  const auto offset_in = [&](const block& b) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.storage.get());
+    return static_cast<std::size_t>(align_up(base + b.used, align) - base);
+  };
+  while (active_ < blocks_.size() && offset_in(blocks_[active_]) + bytes >
+                                         blocks_[active_].capacity)
+    ++active_; // retained block too small for this request; skip forward
+  if (active_ == blocks_.size()) {
+    // Aligning the request against a fresh block only needs slack when the
+    // alignment exceeds operator new's (storage is max_align_t-aligned).
+    const std::size_t slack = align > alignof(std::max_align_t) ? align : 0;
+    std::size_t capacity = next_block_bytes_;
+    if (bytes + slack > capacity)
+      capacity = bytes + slack; // dedicated block; chain unaffected
+    else
+      next_block_bytes_ *= 2;
+    block b;
+    b.storage = std::make_unique<std::byte[]>(capacity);
+    b.capacity = capacity;
+    blocks_.push_back(std::move(b));
+    stats_.blocks = blocks_.size();
+    stats_.block_bytes += capacity;
+  }
+  block& b = blocks_[active_];
+  ++active_;
+  const std::size_t offset = offset_in(b);
+  SOFTSCHED_EXPECT(offset + bytes <= b.capacity, "arena block sizing failed");
+  b.used = offset + bytes;
+  ++stats_.allocations;
+  stats_.bytes += bytes;
+  live_bytes_ += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, live_bytes_);
+  return b.storage.get() + offset;
+}
+
+void arena::reset() noexcept {
+  for (std::size_t i = 0; i < active_; ++i) blocks_[i].used = 0;
+  active_ = 0;
+  live_bytes_ = 0;
+  ++stats_.resets;
+}
+
+void arena::release() noexcept {
+  blocks_.clear();
+  active_ = 0;
+  live_bytes_ = 0;
+  next_block_bytes_ = block_bytes_;
+  stats_.blocks = 0;
+  stats_.block_bytes = 0;
+}
+
+} // namespace softsched::util

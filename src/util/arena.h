@@ -1,0 +1,140 @@
+// arena.h - a bump/block allocator for request-scoped scratch memory.
+//
+// The scheduling hot path (one backend run per serve request) allocates a
+// burst of short-lived vectors - state arrays, closure bitsets, worklists -
+// that all die together when the run ends. An arena turns that burst into
+// pointer bumps inside a few reusable blocks: allocate() is a couple of
+// arithmetic instructions, and reset() retires the whole run in O(1) while
+// *retaining* the blocks, so a warmed-up arena performs zero heap
+// allocations per run (the steady state the memory micro-profile in
+// BENCH_softsched.json gates).
+//
+// Ownership model (docs/DESIGN.md §8): an arena belongs to exactly one
+// sched::run_context, which belongs to exactly one worker thread. Nothing
+// here is thread-safe - per-worker ownership *is* the synchronization.
+//
+// arena_allocator<T> adapts the arena to the std::allocator interface so
+// the hot structures can stay std::vector-shaped. A null-arena allocator
+// falls back to operator new/delete - that heap mode is the cross-validated
+// baseline (same pattern as threaded_graph::set_incremental(false)):
+// results must be byte-identical either way, only cost differs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace softsched::util {
+
+/// Byte/allocation counters of one arena. `blocks` and `block_bytes` are
+/// lifetime-cumulative capacity; `allocations` and `bytes` count every
+/// allocate() since construction (reset() does not clear them - they feed
+/// the per-run averages the perf harness reports).
+struct arena_stats {
+  std::uint64_t allocations = 0; ///< allocate() calls served
+  std::uint64_t bytes = 0;       ///< bytes handed out (after alignment)
+  std::uint64_t resets = 0;      ///< reset() calls
+  std::size_t blocks = 0;        ///< blocks currently owned
+  std::size_t block_bytes = 0;   ///< total capacity of those blocks
+  std::size_t peak_bytes = 0;    ///< max bytes live at any point between resets
+};
+
+/// Bump/block allocator. Blocks grow geometrically from `block_bytes`;
+/// an oversize request gets a dedicated block of exactly its size. reset()
+/// rewinds every block to empty without freeing it.
+class arena {
+public:
+  static constexpr std::size_t default_block_bytes = 64 * 1024;
+
+  explicit arena(std::size_t block_bytes = default_block_bytes);
+  ~arena();
+
+  arena(const arena&) = delete;
+  arena& operator=(const arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two). Never
+  /// returns nullptr; a zero-byte request yields a unique valid pointer.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  /// O(1): rewinds all blocks to empty, retaining their storage for the
+  /// next run. Everything previously allocated becomes invalid.
+  void reset() noexcept;
+
+  /// Frees every block (capacity drops to zero). reset() semantics plus
+  /// release of the memory itself.
+  void release() noexcept;
+
+  [[nodiscard]] const arena_stats& stats() const noexcept { return stats_; }
+
+  /// Bytes currently live (allocated since the last reset).
+  [[nodiscard]] std::size_t live_bytes() const noexcept { return live_bytes_; }
+
+private:
+  struct block {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<block> blocks_;
+  std::size_t active_ = 0; ///< blocks_[0..active_) are (partially) used
+  std::size_t block_bytes_ = default_block_bytes;
+  /// Capacity of the next geometric block. Kept separately from the block
+  /// list so an oversize dedicated block never inflates the chain.
+  std::size_t next_block_bytes_ = default_block_bytes;
+  std::size_t live_bytes_ = 0;
+  arena_stats stats_;
+};
+
+/// std::allocator adapter over an arena. With a null arena it degrades to
+/// plain operator new/delete - the heap baseline mode. Deallocation into a
+/// live arena is a no-op (memory is reclaimed wholesale by reset()).
+template <typename T>
+class arena_allocator {
+public:
+  using value_type = T;
+  // Containers adopt the source allocator on copy/move/swap so an
+  // arena-backed vector can be moved into (or out of) heap-backed storage
+  // without element-wise fixups.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  arena_allocator() noexcept = default;
+  explicit arena_allocator(arena* a) noexcept : arena_(a) {}
+  template <typename U>
+  arena_allocator(const arena_allocator<U>& other) noexcept : arena_(other.backing()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr)
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed by reset(), never piecemeal.
+  }
+
+  [[nodiscard]] arena* backing() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const arena_allocator<U>& rhs) const noexcept {
+    return arena_ == rhs.backing();
+  }
+
+private:
+  arena* arena_ = nullptr;
+};
+
+/// The vector shape of every arena-backed hot structure. Default-constructed
+/// (null arena) it behaves exactly like std::vector - the heap baseline.
+template <typename T>
+using arena_vector = std::vector<T, arena_allocator<T>>;
+
+} // namespace softsched::util

@@ -79,7 +79,16 @@ bool thread_pool::try_pop(std::size_t self, job& out) {
   return false;
 }
 
+namespace {
+// Which worker the current thread is; -1 off-pool. One pool is live at a
+// time in every binary here, so a plain thread_local index suffices.
+thread_local int t_worker_index = -1;
+} // namespace
+
+int thread_pool::current_worker_index() noexcept { return t_worker_index; }
+
 void thread_pool::worker_main(std::size_t self) {
+  t_worker_index = static_cast<int>(self);
   for (;;) {
     job j;
     {

@@ -73,6 +73,12 @@ public:
   /// count for "--jobs 0 = use the machine".
   [[nodiscard]] static unsigned hardware_workers() noexcept;
 
+  /// Index of the pool worker the calling thread is, or -1 on any thread
+  /// that is not a pool worker (including the thread that owns the pool).
+  /// This is how per-worker scratch (sched::run_context) is picked without
+  /// a lock: worker i owns slot i, non-workers own the extra slot.
+  [[nodiscard]] static int current_worker_index() noexcept;
+
 private:
   // One lane per worker. Workers pop their own lane's front; thieves take
   // a victim's back. Guarded by state_mutex_.

@@ -51,6 +51,17 @@ long long serial_bound(const si::dfg& d) {
   return total;
 }
 
+/// One run on a fresh default (arena-backed) context - the plain spelling
+/// most tests want; context reuse and arena/heap parity get their own
+/// tests below.
+ss::backend_outcome run_once(const ss::scheduler_backend& backend, const si::dfg& d,
+                             const si::resource_library& lib,
+                             const si::resource_set& rs,
+                             const ss::backend_options& opt = {}) {
+  ss::run_context ctx;
+  return backend.run({d, lib, rs, opt}, ctx);
+}
+
 } // namespace
 
 // -- registry ---------------------------------------------------------------
@@ -112,7 +123,7 @@ TEST(SchedParity, EveryBackendLegalOnNamedBenchmarks) {
     for (const int constraint : {0, 1}) {
       const si::resource_set rs = si::figure3_constraint(constraint);
       for (const ss::scheduler_backend* backend : ss::registered_backends()) {
-        const ss::backend_outcome r = backend->run(d, lib, rs, {});
+        const ss::backend_outcome r = run_once(*backend, d, lib, rs);
         ASSERT_TRUE(r.feasible) << name << " " << rs.label() << " "
                                 << backend->name() << ": " << r.infeasible_reason;
         EXPECT_GE(r.latency, critical) << name << " " << backend->name();
@@ -148,8 +159,8 @@ TEST(SchedParity, SoftTracksListWithinOneStateOnFigure3Constraints) {
     const si::dfg d = si::make_benchmark(name, lib);
     for (const int constraint : {0, 1}) {
       const si::resource_set rs = si::figure3_constraint(constraint);
-      const ss::backend_outcome s = soft.run(d, lib, rs, {});
-      const ss::backend_outcome l = list.run(d, lib, rs, {});
+      const ss::backend_outcome s = run_once(soft, d, lib, rs);
+      const ss::backend_outcome l = run_once(list, d, lib, rs);
       ASSERT_TRUE(s.feasible && l.feasible) << name;
       EXPECT_LE(s.latency, l.latency + 1) << name << " " << rs.label();
     }
@@ -161,7 +172,7 @@ TEST(SchedParity, ZeroUnitAllocationIsAnOutcomeNotAnException) {
   const si::dfg d = si::make_benchmark("ewf", lib);
   const si::resource_set no_muls{2, 0, 1};
   for (const ss::scheduler_backend* backend : ss::registered_backends()) {
-    const ss::backend_outcome r = backend->run(d, lib, no_muls, {});
+    const ss::backend_outcome r = run_once(*backend, d, lib, no_muls);
     EXPECT_FALSE(r.feasible) << backend->name();
     EXPECT_FALSE(r.infeasible_reason.empty()) << backend->name();
     EXPECT_EQ(r.latency, -1) << backend->name();
@@ -175,7 +186,7 @@ TEST(SchedParity, FdsReportsUnreachableAllocationInsteadOfIllegalSchedule) {
   const si::resource_library lib;
   const si::dfg d = si::make_benchmark("ewf", lib);
   const ss::backend_outcome r =
-      ss::get_backend("fds").run(d, lib, si::figure3_constraint(2), {});
+      run_once(ss::get_backend("fds"), d, lib, si::figure3_constraint(2));
   EXPECT_FALSE(r.feasible);
   EXPECT_NE(r.infeasible_reason.find("peak usage exceeds"), std::string::npos);
 }
@@ -186,7 +197,7 @@ TEST(SchedParity, FdsExplicitBudgetRunsOnceAndChecksTheAllocation) {
   const si::resource_set rs = si::figure3_constraint(0);
   ss::backend_options opt;
   opt.fds_latency = 12; // comfortably above HAL's critical path of 6
-  const ss::backend_outcome r = ss::get_backend("fds").run(d, lib, rs, opt);
+  const ss::backend_outcome r = run_once(ss::get_backend("fds"), d, lib, rs, opt);
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_EQ(r.latency, sh::validate_schedule(d, ss::to_hard_schedule(r), &rs).empty()
                            ? r.latency
@@ -195,7 +206,7 @@ TEST(SchedParity, FdsExplicitBudgetRunsOnceAndChecksTheAllocation) {
 
   // A budget below the critical path is infeasible, not a throw.
   opt.fds_latency = 3;
-  const ss::backend_outcome tight = ss::get_backend("fds").run(d, lib, rs, opt);
+  const ss::backend_outcome tight = run_once(ss::get_backend("fds"), d, lib, rs, opt);
   EXPECT_FALSE(tight.feasible);
   EXPECT_FALSE(tight.infeasible_reason.empty());
 }
@@ -205,10 +216,74 @@ TEST(SchedParity, RepeatRunsAreBitIdenticalPerBackend) {
   const si::dfg d = si::make_benchmark("arf", lib);
   const si::resource_set rs = si::figure3_constraint(0);
   for (const ss::scheduler_backend* backend : ss::registered_backends()) {
-    const ss::backend_outcome a = backend->run(d, lib, rs, {});
-    const ss::backend_outcome b = backend->run(d, lib, rs, {});
+    const ss::backend_outcome a = run_once(*backend, d, lib, rs);
+    const ss::backend_outcome b = run_once(*backend, d, lib, rs);
     EXPECT_TRUE(a.same_outcome(b)) << backend->name();
   }
+}
+
+// -- the run_request/run_context API ----------------------------------------
+
+TEST(SchedContext, OneContextReusedAcrossRunsMatchesFreshContexts) {
+  // The per-worker reuse story: one context carried across designs,
+  // allocations and backends (arena rewound between runs) must produce
+  // exactly what a fresh context produces every time.
+  const si::resource_library lib;
+  ss::run_context shared;
+  std::uint64_t expected_runs = 0;
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+        const ss::backend_outcome reused = backend->run({d, lib, rs, {}}, shared);
+        const ss::backend_outcome fresh = run_once(*backend, d, lib, rs);
+        EXPECT_TRUE(reused.same_outcome(fresh))
+            << name << " " << rs.label() << " " << backend->name();
+        ++expected_runs;
+      }
+    }
+  }
+  EXPECT_EQ(shared.runs(), expected_runs);
+}
+
+TEST(SchedContext, ArenaOffMatchesArenaOn) {
+  // arena_mode::off is the cross-validated heap baseline: same outcome,
+  // different memory source. Both contexts are reused across runs so the
+  // comparison also covers steady-state reuse.
+  const si::resource_library lib;
+  ss::run_context with_arena(ss::arena_mode::on);
+  ss::run_context heap(ss::arena_mode::off);
+  ASSERT_TRUE(with_arena.arena_enabled());
+  ASSERT_FALSE(heap.arena_enabled());
+  EXPECT_EQ(heap.arena(), nullptr);
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    const si::resource_set rs = si::figure3_constraint(0);
+    for (const ss::scheduler_backend* backend : ss::registered_backends()) {
+      const ss::backend_outcome a = backend->run({d, lib, rs, {}}, with_arena);
+      const ss::backend_outcome h = backend->run({d, lib, rs, {}}, heap);
+      EXPECT_TRUE(a.same_outcome(h)) << name << " " << backend->name();
+    }
+  }
+  // The arena really was in play: blocks were carved and recycled.
+  const softsched::util::arena_stats* st = with_arena.arena_stats();
+  ASSERT_NE(st, nullptr);
+  EXPECT_GT(st->allocations, 0u);
+  EXPECT_GT(st->resets, 0u);
+  EXPECT_EQ(heap.arena_stats(), nullptr);
+}
+
+TEST(SchedContext, SoftAccumulatesKernelStatsIntoTheContext) {
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("ewf", lib);
+  const si::resource_set rs = si::figure3_constraint(0);
+  ss::run_context ctx;
+  const ss::backend_outcome once = ss::get_backend("soft").run({d, lib, rs, {}}, ctx);
+  ASSERT_TRUE(once.feasible);
+  EXPECT_EQ(ctx.totals.commits, once.stats.commits);
+  (void)ss::get_backend("soft").run({d, lib, rs, {}}, ctx);
+  EXPECT_EQ(ctx.totals.commits, 2 * once.stats.commits);
 }
 
 // -- the cache-key salt -----------------------------------------------------

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -39,6 +40,7 @@
 #include "serve/options.h"
 #include "serve/socket.h"
 #include "regalloc/lifetime.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -109,6 +111,8 @@ struct options {
       << "  --seed <n>                                      random meta seed\n"
       << "  --latency <n>                                   FDS latency budget\n"
       << "  --alus/--muls/--mems <n>                        resources (2/2/1)\n"
+      << "  --arena <on|off|BYTES>                          per-run arena allocator (on);\n"
+      << "                                                  off = heap baseline, BYTES = block size\n"
       << "refinement (threaded only):\n"
       << "  --spill <op>                                    spill a value\n"
       << "  --wire <from>:<to>:<delay>                      insert wire delay\n"
@@ -193,6 +197,7 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--disk-cache-mb") opt.serve_flags.disk_cache_mb = std::atoi(need(i).c_str());
     else if (arg == "--serve-batch-size") opt.serve_flags.serve_batch_size = std::atoi(need(i).c_str());
     else if (arg == "--serve-compact") opt.serve_flags.serve_compact = true;
+    else if (arg == "--arena") opt.serve_flags.arena = need(i);
     else if (arg == "--gantt") opt.gantt = true;
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--registers") opt.registers = true;
@@ -244,13 +249,6 @@ sm::meta_kind parse_meta(const std::string& name) {
   throw softsched::precondition_error("unknown meta schedule '" + name + "'");
 }
 
-// --backend wins when both are given; the legacy --scheduler spelling maps
-// threaded -> soft and otherwise passes through to the registry lookup.
-std::string effective_backend(const options& opt) {
-  if (!opt.backend.empty()) return opt.backend;
-  return opt.scheduler == "threaded" ? "soft" : opt.scheduler;
-}
-
 // "all", one registry name, or a comma list; every name is resolved before
 // anything runs so a typo fails fast.
 std::vector<std::string> parse_backend_list(const std::string& spec) {
@@ -270,13 +268,58 @@ std::vector<std::string> parse_backend_list(const std::string& spec) {
   return names;
 }
 
-// The deterministic meta order the backends run under; `random` is a CLI
-// affordance of the interactive soft path only.
-sm::meta_kind backend_meta(const options& opt) {
+// The one validated scheduling surface, mirroring serve/options.h: backend
+// selection (with the legacy --scheduler alias folded in), meta order, FDS
+// budget and the --arena knob all derive from the raw flags exactly once,
+// and every mode - single run, --compare, --explore - consumes this struct
+// instead of re-deriving from strings.
+struct scheduling_config {
+  std::vector<std::string> backends; ///< resolved registry names, never empty
+  sm::meta_kind meta = sm::meta_kind::list_priority; ///< never `random`
+  bool random_meta = false; ///< --meta random (interactive soft path only)
+  std::uint64_t seed = 1;
+  long long fds_latency = -1;
+  sv::arena_flag arena; ///< --arena, parsed by the serve-shared grammar
+
+  [[nodiscard]] const std::string& primary_backend() const { return backends.front(); }
+  [[nodiscard]] ss::arena_mode arena_mode() const {
+    return arena.enabled ? ss::arena_mode::on : ss::arena_mode::off;
+  }
+  [[nodiscard]] std::size_t arena_block_bytes() const {
+    return arena.block_bytes > 0 ? arena.block_bytes
+                                 : softsched::util::arena::default_block_bytes;
+  }
+  /// The per-run options a registry backend consumes. Backends that ignore
+  /// the feed order keep ignoring --meta (the legacy `--scheduler list
+  /// --meta random` spelling stays valid); backends that consume it reject
+  /// `random` - registry runs need a deterministic order.
+  [[nodiscard]] ss::backend_options options_for(const ss::scheduler_backend& b) const {
+    ss::backend_options bopt;
+    if (b.caps().uses_meta) {
+      SOFTSCHED_EXPECT(!random_meta,
+                       "--backend/--compare runs need a deterministic --meta");
+      bopt.meta = meta;
+    }
+    bopt.fds_latency = fds_latency;
+    return bopt;
+  }
+};
+
+scheduling_config scheduling_from_options(const options& opt) {
+  scheduling_config cfg;
+  // --backend wins when both are given; the legacy --scheduler spelling
+  // maps threaded -> soft and otherwise passes through to the registry.
+  const std::string spec = !opt.backend.empty()
+                               ? opt.backend
+                               : (opt.scheduler == "threaded" ? "soft" : opt.scheduler);
+  cfg.backends = parse_backend_list(spec == "all" ? "all" : spec);
   const sm::meta_kind kind = parse_meta(opt.meta);
-  SOFTSCHED_EXPECT(kind != sm::meta_kind::random,
-                   "--backend/--compare runs need a deterministic --meta");
-  return kind;
+  cfg.random_meta = kind == sm::meta_kind::random;
+  if (!cfg.random_meta) cfg.meta = kind;
+  cfg.seed = opt.seed;
+  cfg.fds_latency = opt.latency;
+  cfg.arena = sv::parse_arena_flag(opt.serve_flags.arena);
+  return cfg;
 }
 
 // --compare / --backend all: run every registered backend on the design and
@@ -285,21 +328,22 @@ sm::meta_kind backend_meta(const options& opt) {
 // shared precedence + resource checker, and every backend is run twice so
 // nondeterminism shows up here rather than in a cache. Returns nonzero if
 // any feasible schedule fails validation.
-int run_compare(const options& opt, const si::resource_library& lib,
+int run_compare(const scheduling_config& cfg, const si::resource_library& lib,
                 const si::dfg& design, const si::resource_set& resources) {
-  ss::backend_options bopt;
-  bopt.meta = backend_meta(opt);
-  bopt.fds_latency = opt.latency;
-
   std::cout << "backend comparison: " << design.name() << ", " << design.op_count()
             << " ops, resources " << resources.label() << "\n";
   softsched::table t;
   t.set_header({"backend", "feasible", "latency", "vs soft", "bound units", "legal"});
   long long soft_latency = -1;
   bool all_legal = true;
+  // One context for the whole table: the repeat run below recycles the
+  // first run's arena blocks, so comparison mode also witnesses that reuse
+  // does not change an outcome.
+  ss::run_context ctx(cfg.arena_mode(), cfg.arena_block_bytes());
   for (const ss::scheduler_backend* backend : ss::registered_backends()) {
-    const ss::backend_outcome outcome = backend->run(design, lib, resources, bopt);
-    const ss::backend_outcome repeat = backend->run(design, lib, resources, bopt);
+    const ss::run_request request{design, lib, resources, cfg.options_for(*backend)};
+    const ss::backend_outcome outcome = backend->run(request, ctx);
+    const ss::backend_outcome repeat = backend->run(request, ctx);
     SOFTSCHED_EXPECT(outcome.same_outcome(repeat),
                      std::string("backend '") + std::string(backend->name()) +
                          "' is nondeterministic across repeat runs");
@@ -355,7 +399,7 @@ se::axis_range parse_axis(const std::string& spec, se::axis_range fallback) {
   return axis;
 }
 
-int run_explore(const options& opt) {
+int run_explore(const options& opt, const scheduling_config& cfg) {
   SOFTSCHED_EXPECT(!opt.bench.empty(),
                    "--explore needs --bench (a named benchmark or random<N>)");
   se::grid_spec spec;
@@ -380,8 +424,11 @@ int run_explore(const options& opt) {
 
   se::exploration_options eopt;
   eopt.jobs = opt.jobs;
-  eopt.meta = backend_meta(opt);
-  eopt.backends = parse_backend_list(opt.backend);
+  SOFTSCHED_EXPECT(!cfg.random_meta, "--explore needs a deterministic --meta");
+  eopt.meta = cfg.meta;
+  eopt.backends = cfg.backends;
+  eopt.arena = cfg.arena.enabled;
+  eopt.arena_block_bytes = cfg.arena.block_bytes;
 
   const se::exploration_result result = se::run_exploration(spec, eopt);
   std::cout << "design-space exploration: " << spec.design.name() << ", "
@@ -640,7 +687,8 @@ int run_cache_tool(int argc, char** argv) {
 int run(const options& opt) {
   if (opt.serve_mode) return run_daemon_mode(opt);
   if (!opt.serve_batch.empty()) return run_serve(opt);
-  if (opt.explore) return run_explore(opt);
+  const scheduling_config cfg = scheduling_from_options(opt);
+  if (opt.explore) return run_explore(opt, cfg);
   const si::resource_library lib;
   si::dfg design = load_design(opt, lib);
   const si::resource_set resources{opt.alus, opt.muls, opt.mems};
@@ -656,21 +704,29 @@ int run(const options& opt) {
         !opt.spills.empty() || !opt.wires.empty())
       std::cerr << "note: --gantt/--stats/--registers/--dot/--spill/--wire are "
                    "ignored in comparison mode (pick one --backend to use them)\n";
-    return run_compare(opt, lib, design, resources);
+    return run_compare(cfg, lib, design, resources);
   }
 
   sh::schedule result;
+  // The interactive soft path keeps the live state (and therefore its
+  // arena) alive for refinements / --stats / --dot, so the arena is
+  // declared first: members of `state` deallocate into it on destruction.
+  std::unique_ptr<softsched::util::arena> arena;
+  std::vector<int> tags_scratch;
   std::optional<sc::threaded_graph> state;
-  const std::string backend_name = effective_backend(opt);
+  const std::string backend_name = cfg.primary_backend();
+  SOFTSCHED_EXPECT(cfg.backends.size() == 1,
+                   "pick one --backend (or --compare for the table)");
 
   if (backend_name == "soft") {
-    state.emplace(sc::make_hls_state(design, resources));
-    const sm::meta_kind kind = parse_meta(opt.meta);
-    if (kind == sm::meta_kind::random) {
-      softsched::rng rand(opt.seed);
+    if (cfg.arena.enabled)
+      arena = std::make_unique<softsched::util::arena>(cfg.arena_block_bytes());
+    state.emplace(sc::make_hls_state(design, resources, arena.get(), tags_scratch));
+    if (cfg.random_meta) {
+      softsched::rng rand(cfg.seed);
       state->schedule_all(sm::random_meta_schedule(design.graph(), rand));
     } else {
-      state->schedule_all(sm::meta_schedule(design.graph(), kind));
+      state->schedule_all(sm::meta_schedule(design.graph(), cfg.meta));
     }
     // Refinements against the live state.
     for (const std::string& name : opt.spills) {
@@ -699,12 +755,9 @@ int run(const options& opt) {
     // registry; the soft path above stays special because it keeps the live
     // threaded state around for refinements / --stats / --dot.
     const ss::scheduler_backend& backend = ss::get_backend(backend_name);
-    ss::backend_options bopt;
-    // Backends that ignore the feed order must keep ignoring --meta (the
-    // legacy `--scheduler list --meta random` spelling stays valid).
-    if (backend.caps().uses_meta) bopt.meta = backend_meta(opt);
-    bopt.fds_latency = opt.latency;
-    const ss::backend_outcome outcome = backend.run(design, lib, resources, bopt);
+    ss::run_context ctx(cfg.arena_mode(), cfg.arena_block_bytes());
+    const ss::backend_outcome outcome =
+        backend.run({design, lib, resources, cfg.options_for(backend)}, ctx);
     if (!outcome.feasible) {
       std::cerr << "infeasible: " << outcome.infeasible_reason << '\n';
       return 1;
