@@ -35,6 +35,7 @@
 #include "core/hls_binding.h"
 #include "core/threaded_graph.h"
 #include "dse_scenario.h"
+#include "iter_scenario.h"
 #include "load_scenario.h"
 #include "memory_scenario.h"
 #include "persist_scenario.h"
@@ -470,6 +471,14 @@ int main(int argc, char** argv) {
   std::cerr << "perf_harness: scheduler backends...\n";
   j.key("backend");
   ok = softsched::bench::write_backend_scenario(j) && ok;
+
+  // sdc-iter QoR vs runtime on the named-benchmark constraint grid (see
+  // iter_scenario.h): latency deltas against soft, iterations to fixed
+  // point, and iterated-scheduling throughput. Self-gating on "never worse
+  // than soft, strictly better somewhere".
+  std::cerr << "perf_harness: iterative scheduling...\n";
+  j.key("iter");
+  ok = softsched::bench::write_iter_scenario(j) && ok;
 
   // Memory micro-profile of the soft hot path: warmed arena context vs the
   // heap baseline under instrumented allocation counters (see

@@ -38,6 +38,12 @@ LOWER_IS_BETTER = {
     # keeps a future fully-silent arena (0 allocs) from making any nonzero
     # count look infinite.
     "memory.arena_allocs_per_design": (2.0, 4.0),
+    # Summed sdc-iter latency delta against soft over the fixed grid. The
+    # scenario's own gate already enforces <= 0 (never worse than soft), so
+    # the committed value is zero or negative; the floor keeps the ratio
+    # math meaningful and the entry exists to fail loudly if a regenerated
+    # baseline ever drifts positive past it.
+    "iter.qor_delta_vs_soft": (1.0, 0.0),
 }
 
 
@@ -60,6 +66,8 @@ def metrics(doc):
         "backend.fds_points_per_sec": s["backend"]["per_backend"]["fds"][
             "points_per_sec"
         ],
+        "iter.qor_delta_vs_soft": s["iter"]["qor_delta_vs_soft"],
+        "iter.points_per_sec": s["iter"]["points_per_sec"],
         "load.p99_ms": s["load"]["p99_ms"],
         "load.drop_rate": s["load"]["drop_rate"],
         "load.goodput_rps": s["load"]["goodput_rps"],
@@ -274,6 +282,49 @@ def validate(doc, label):
                 )
             if entry["points_per_sec"] <= 0:
                 errors.append(f"{label}: backend: {name}: bad throughput")
+    it = s.get("iter")
+    if not it:
+        errors.append(f"{label}: missing scenario iter")
+    else:
+        for key in (
+            "budget",
+            "grid",
+            "qor_delta_vs_soft",
+            "improved_points",
+            "max_iterations",
+            "points_per_sec",
+            "gate",
+        ):
+            if key not in it:
+                errors.append(f"{label}: iter: missing {key}")
+        if not it.get("deterministic", False):
+            errors.append(f"{label}: iter: sdc-iter diverged across passes")
+        if not it.get("all_legal", False):
+            errors.append(f"{label}: iter: an iterated schedule went illegal")
+        # The tentpole's QoR story is a hard floor, not a trend: iteration
+        # must never end worse than its soft base run anywhere on the grid,
+        # and must strictly improve at least one point.
+        if it.get("qor_delta_vs_soft", 1) > 0:
+            errors.append(
+                f"{label}: iter: qor_delta_vs_soft "
+                f"{it.get('qor_delta_vs_soft')} > 0 - iteration ended worse "
+                "than its soft base run"
+            )
+        if it.get("improved_points", 0) < 1:
+            errors.append(
+                f"{label}: iter: no grid point improved on soft - the "
+                "iterative loop is a no-op"
+            )
+        if it.get("max_iterations", 0) > it.get("budget", 0):
+            errors.append(
+                f"{label}: iter: {it.get('max_iterations')} iterations "
+                f"exceeded the default budget {it.get('budget')} - no fixed "
+                "point reached"
+            )
+        if it.get("points_per_sec", 0) <= 0:
+            errors.append(f"{label}: iter: bad throughput")
+        if isinstance(it.get("gate"), dict) and not it["gate"].get("pass"):
+            errors.append(f"{label}: iter: scenario's own gate failed")
     return errors
 
 
@@ -308,6 +359,7 @@ def main():
         "serve.requests_per_sec_hot",
         "serve.hit_rate",
         "backend.soft_points_per_sec",
+        "iter.points_per_sec",
         "persist.warm_restart_hit_rate",
         "memory.alloc_ratio",
     }
@@ -356,6 +408,14 @@ def main():
         f"{backend['constraint']} across {len(backend['per_backend'])} backends "
         f"({', '.join(backend['per_backend'])}), "
         f"deterministic={backend['deterministic']}"
+    )
+    it = fresh["scenarios"]["iter"]
+    print(
+        f"\niter: {len(it['grid'])} grid points at budget {it['budget']}, "
+        f"qor delta vs soft {it['qor_delta_vs_soft']:+.0f} states "
+        f"({it['improved_points']} points improved), max iterations "
+        f"{it['max_iterations']}, {it['points_per_sec']:.0f} points/sec, "
+        f"gate_pass={it['gate']['pass']}"
     )
     load = fresh["scenarios"]["load"]
     print(

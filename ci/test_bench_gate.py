@@ -140,6 +140,29 @@ def minimal_doc():
                     )
                 },
             },
+            "iter": {
+                "budget": 8,
+                "grid": [
+                    {
+                        "design": "hal",
+                        "constraint": "2+/-,1*",
+                        "soft_states": 14,
+                        "iter_states": 13,
+                        "delta": -1,
+                        "iterations": 5,
+                        "legal": True,
+                    },
+                ],
+                "qor_delta_vs_soft": -2,
+                "improved_points": 2,
+                "max_iterations": 5,
+                "timed_passes": 40,
+                "total_ms": 100.0,
+                "points_per_sec": 5000.0,
+                "deterministic": True,
+                "all_legal": True,
+                "gate": {"pass": True},
+            },
         },
     }
 
@@ -578,3 +601,71 @@ def test_socket_goodput_is_informational(tmp_path):
     fresh["scenarios"]["socket"]["goodput_rps"] = 100.0
     result = run_gate(tmp_path, minimal_doc(), fresh)
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_missing_iter_scenario_fails(tmp_path):
+    fresh = minimal_doc()
+    del fresh["scenarios"]["iter"]
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "iter" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_iter_worse_than_soft_fails(tmp_path):
+    # The QoR story is a hard floor, not a trend: any grid point ending
+    # worse than the soft base run pushes the summed delta positive.
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["qor_delta_vs_soft"] = 1
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "worse than its soft base run" in result.stdout
+
+
+def test_iter_zero_delta_with_an_improved_point_passes(tmp_path):
+    # Zero summed delta is acceptable as long as some point still improves
+    # (improvements elsewhere may be offset by nothing, never by losses).
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["qor_delta_vs_soft"] = 0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_iter_no_improvement_fails(tmp_path):
+    # An iterative backend that never beats its base run anywhere on the
+    # grid is a no-op wearing a budget.
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["improved_points"] = 0
+    fresh["scenarios"]["iter"]["qor_delta_vs_soft"] = 0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "no grid point improved" in result.stdout
+
+
+def test_iter_budget_exhaustion_fails(tmp_path):
+    # max_iterations above the default budget means some grid point never
+    # reached a fixed point - termination came from the cap, not convergence.
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["max_iterations"] = 9
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "no fixed point" in result.stdout
+
+
+def test_iter_gate_failure_fails(tmp_path):
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["gate"]["pass"] = False
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "iter: scenario's own gate failed" in result.stdout
+
+
+def test_iter_throughput_collapse_fails(tmp_path):
+    # points_per_sec is a gated higher-is-better metric: >2x drop vs the
+    # committed baseline fails (budget sweeps are the first runtime-vs-QoR
+    # Pareto surface, so the runtime side must hold too).
+    fresh = minimal_doc()
+    fresh["scenarios"]["iter"]["points_per_sec"] = 1000.0
+    result = run_gate(tmp_path, minimal_doc(), fresh)
+    assert result.returncode == 1
+    assert "iter.points_per_sec" in result.stdout

@@ -28,7 +28,8 @@ bool same_allocation(const ir::resource_set& a, const ir::resource_set& b) {
 bool point_result::same_schedule(const point_result& other) const {
   return backend == other.backend && point.index == other.point.index &&
          same_allocation(point.resources, other.point.resources) &&
-         point.mul_latency == other.point.mul_latency && feasible == other.feasible &&
+         point.mul_latency == other.point.mul_latency &&
+         point.iter_budget == other.point.iter_budget && feasible == other.feasible &&
          infeasible_reason == other.infeasible_reason && ops == other.ops &&
          latency == other.latency && area == other.area &&
          start_times == other.start_times && unit_of == other.unit_of &&
@@ -87,9 +88,14 @@ point_result run_point(const grid_spec& spec, const design_point& point,
   const ir::dfg design = build_design(spec.design, library);
   r.ops = design.op_count();
 
+  // The budget axis lives on the point; a point off the axis (-1) defers
+  // to whatever the caller's options carry (normally the backend default).
+  sched::backend_options point_options = options;
+  if (point.iter_budget >= 0) point_options.iter_budget = point.iter_budget;
+
   const auto t0 = clock_type::now();
   sched::backend_outcome outcome =
-      backend.run({design, library, point.resources, options}, ctx);
+      backend.run({design, library, point.resources, point_options}, ctx);
   r.wall_ms = millis_since(t0);
   r.feasible = outcome.feasible;
   r.infeasible_reason = std::move(outcome.infeasible_reason);
@@ -121,6 +127,7 @@ exploration_result run_exploration(const grid_spec& spec,
   }
   sched::backend_options bopt;
   bopt.meta = options.meta;
+  bopt.iter_budget = options.iter_budget;
 
   const std::size_t total = points.size() * backends.size();
   out.points.resize(total);
@@ -206,6 +213,7 @@ void write_report(json_writer& j, const grid_spec& spec,
   axis("muls", spec.muls);
   axis("mems", spec.mems);
   axis("mul_latency", spec.mul_latency);
+  axis("iter_budget", spec.iter_budget);
   j.member("points", result.points.size());
   j.end_object();
   j.member("jobs", static_cast<unsigned long long>(result.jobs));
@@ -228,6 +236,7 @@ void write_report(json_writer& j, const grid_spec& spec,
     j.member("muls", p.point.resources.multipliers);
     j.member("mems", p.point.resources.memory_ports);
     j.member("mul_latency", p.point.mul_latency);
+    j.member("iter_budget", p.point.iter_budget);
     j.member("feasible", p.feasible);
     j.member("area", p.area);
     j.member("latency", p.latency);

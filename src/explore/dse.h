@@ -71,6 +71,10 @@ struct exploration_options {
   /// sched::backend_names()); empty means {"soft"}. Unknown names throw
   /// precondition_error before any point runs.
   std::vector<std::string> backends = {};
+  /// Baseline iteration budget for iterative backends when the grid's
+  /// iter_budget axis is off; -1 = backend default. A point on the axis
+  /// overrides this per point.
+  long long iter_budget = -1;
   /// Per-worker run_context arenas (off = the heap baseline); never changes
   /// a point's values - the jobs-1-vs-jobs-N property holds either way.
   bool arena = true;

@@ -22,7 +22,8 @@ std::size_t point_count(const grid_spec& spec) {
   return static_cast<std::size_t>(spec.alus.count()) *
          static_cast<std::size_t>(spec.muls.count()) *
          static_cast<std::size_t>(spec.mems.count()) *
-         static_cast<std::size_t>(spec.mul_latency.count());
+         static_cast<std::size_t>(spec.mul_latency.count()) *
+         static_cast<std::size_t>(spec.iter_budget.count());
 }
 
 std::vector<design_point> enumerate_grid(const grid_spec& spec) {
@@ -30,18 +31,22 @@ std::vector<design_point> enumerate_grid(const grid_spec& spec) {
                    "resource axes must be non-negative");
   SOFTSCHED_EXPECT(spec.mul_latency.count() == 0 || spec.mul_latency.lo >= 1,
                    "multiplier latency must be at least 1 cycle");
+  SOFTSCHED_EXPECT(spec.iter_budget.count() == 0 || spec.iter_budget.lo >= -1,
+                   "iteration budget axis must start at -1 (backend default) or above");
   std::vector<design_point> points;
   points.reserve(point_count(spec));
-  for (int lat = spec.mul_latency.lo; lat <= spec.mul_latency.hi; ++lat)
-    for (int a = spec.alus.lo; a <= spec.alus.hi; ++a)
-      for (int m = spec.muls.lo; m <= spec.muls.hi; ++m)
-        for (int p = spec.mems.lo; p <= spec.mems.hi; ++p) {
-          design_point pt;
-          pt.index = static_cast<int>(points.size());
-          pt.resources = ir::resource_set{a, m, p};
-          pt.mul_latency = lat;
-          points.push_back(pt);
-        }
+  for (int budget = spec.iter_budget.lo; budget <= spec.iter_budget.hi; ++budget)
+    for (int lat = spec.mul_latency.lo; lat <= spec.mul_latency.hi; ++lat)
+      for (int a = spec.alus.lo; a <= spec.alus.hi; ++a)
+        for (int m = spec.muls.lo; m <= spec.muls.hi; ++m)
+          for (int p = spec.mems.lo; p <= spec.mems.hi; ++p) {
+            design_point pt;
+            pt.index = static_cast<int>(points.size());
+            pt.resources = ir::resource_set{a, m, p};
+            pt.mul_latency = lat;
+            pt.iter_budget = budget;
+            points.push_back(pt);
+          }
   return points;
 }
 

@@ -47,6 +47,11 @@ struct grid_spec {
   axis_range muls{1, 3};
   axis_range mems{1, 1};
   axis_range mul_latency{2, 2}; ///< technology/pipelining variants of the multiplier
+  /// Iteration budget axis for iterative backends (sdc-iter): the first
+  /// runtime-vs-QoR axis - more budget costs scheduler time, never area.
+  /// The default {-1,-1} keeps it out of the grid (backend-default budget,
+  /// one point); one-shot backends produce identical schedules along it.
+  axis_range iter_budget{-1, -1};
 };
 
 /// One grid point: a resource allocation plus the multiplier-latency
@@ -57,6 +62,7 @@ struct design_point {
   int index = -1;
   ir::resource_set resources;
   int mul_latency = 2;
+  int iter_budget = -1; ///< -1 = backend default (not on the budget axis)
 };
 
 [[nodiscard]] std::size_t point_count(const grid_spec& spec);

@@ -45,9 +45,10 @@ namespace softsched::sched {
 /// never on backend names.
 struct backend_caps {
   bool binds_units = true;  ///< emits a unit index per op (FDS does not)
-  bool uses_meta = false;   ///< consumes the meta feed order (soft only)
+  bool uses_meta = false;   ///< consumes the meta feed order (soft, sdc-iter)
   bool refinable = false;   ///< schedule stays soft / live-refinable
-  bool time_constrained = false; ///< accepts an explicit latency budget (FDS)
+  bool time_constrained = false; ///< targets an explicit latency (FDS, sdc-iter)
+  bool iterative = false;   ///< re-schedules in a feedback loop; consumes iter_budget
 };
 
 /// The uniform scheduling outcome. Infeasible allocations are a reported
@@ -60,6 +61,9 @@ struct backend_outcome {
   std::vector<long long> start_times; ///< per-op start cycle (vertex-id order)
   std::vector<int> unit_of;           ///< per-op unit binding; -1 = unbound
   core::schedule_stats stats;         ///< soft kernel counters; zero for hard backends
+  /// Refinement iterations actually run past the base schedule; 0 for
+  /// every one-shot backend and for an iterative backend at budget 0.
+  long long iterations = 0;
 
   /// Value equality - the repeat-run determinism witness.
   [[nodiscard]] bool same_outcome(const backend_outcome& other) const;
@@ -92,10 +96,12 @@ public:
 };
 
 /// The registry, in stable registration order: soft (index 0), list (1),
-/// fds (2). Index order is part of the serve cache-key contract.
+/// fds (2), sdc-iter (3). Index order is part of the serve cache-key
+/// contract - append only.
 [[nodiscard]] std::span<const scheduler_backend* const> registered_backends();
 
-/// Lookup by name ("soft" | "list" | "fds"); nullptr when unknown.
+/// Lookup by name ("soft" | "list" | "fds" | "sdc-iter"); nullptr when
+/// unknown.
 [[nodiscard]] const scheduler_backend* find_backend(std::string_view name);
 
 /// Lookup that throws precondition_error listing the registered names.
@@ -105,26 +111,41 @@ public:
 /// when unknown. Stable across runs - the serve cache salt depends on it.
 [[nodiscard]] int backend_index(std::string_view name);
 
-/// All registered names in registry order ("soft", "list", "fds").
+/// All registered names in registry order ("soft", "list", "fds",
+/// "sdc-iter").
 [[nodiscard]] std::vector<std::string> backend_names();
 
-/// The registered names joined as "soft|list|fds" - the one spelling every
-/// unknown-backend error message uses (get_backend, the serve request
-/// parser).
+/// The registered names joined as "soft|list|fds|sdc-iter" - the one
+/// spelling every unknown-backend error message uses (get_backend, the
+/// serve request parser).
 [[nodiscard]] std::string backend_names_joined();
+
+/// sdc-iter's refinement budget when the request leaves iter_budget at -1,
+/// and the ceiling the CLI / serve request validation enforces. The
+/// default is part of the cache-key contract: -1 resolves to it before
+/// salting, so "default budget" and "explicitly 8" share one entry.
+inline constexpr long long sdc_iter_default_budget = 8;
+inline constexpr long long sdc_iter_max_budget = 1024;
 
 /// The option salt the serve engine mixes into schedule_key: everything
 /// the outcome depends on beyond graph + delays + allocation, i.e. which
-/// backend ran and - only for backends whose caps().uses_meta - the feed
-/// order. Backends that ignore the meta kind get one salt for every meta,
-/// so a client sweeping meta orders against `list` hits one cache entry
-/// instead of scheduling identical results N times. The salt is nonzero
-/// for every (backend, meta) pair so "no salt" stays distinguishable, and
-/// the soft backend with any meta produces the exact salts the
-/// pre-registry engine used (cache keys for soft requests are unchanged
-/// across the refactor). The arena mode of the context is deliberately
-/// NOT in the salt: it cannot change the outcome.
+/// backend ran, the feed order (only for backends whose caps().uses_meta),
+/// and the iteration budget (only for backends whose caps().iterative).
+/// Backends that ignore a knob get one salt for every value of it, so a
+/// client sweeping meta orders against `list` - or budgets against `soft` -
+/// hits one cache entry instead of scheduling identical results N times.
+///
+/// Layout (docs/DESIGN.md §7/§9): bits 0-7 meta+1 (or 1 when meta is
+/// ignored), bits 8-31 registry index, bits 32+ effective budget + 1 for
+/// iterative backends (zero otherwise). The salt is nonzero for every
+/// combination so "no salt" stays distinguishable, the soft backend with
+/// any meta produces the exact salts the pre-registry engine used, and
+/// every pre-iter backend keeps its PR 5 key values (soft 1-4, list 257,
+/// fds 513) - warm caches survive the widening. iter_budget -1 resolves
+/// to sdc_iter_default_budget before salting. The arena mode of the
+/// context is deliberately NOT in the salt: it cannot change the outcome.
 [[nodiscard]] std::uint64_t backend_option_salt(const scheduler_backend& backend,
-                                                meta::meta_kind meta);
+                                                meta::meta_kind meta,
+                                                long long iter_budget = -1);
 
 } // namespace softsched::sched

@@ -45,6 +45,11 @@ struct backend_options {
   /// Force-directed latency budget; -1 = search the smallest budget whose
   /// FDS schedule fits the allocation (what makes FDS resource-comparable).
   long long fds_latency = -1;
+  /// sdc-iter refinement budget: the maximum number of re-scheduling
+  /// iterations past the base run. 0 = base schedule only (byte-for-byte
+  /// the soft backend); -1 = sdc_iter_default_budget. Ignored by
+  /// non-iterative backends.
+  long long iter_budget = -1;
 };
 
 /// Everything one backend run consumes. The referenced objects must

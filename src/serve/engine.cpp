@@ -52,6 +52,7 @@ schedule_result compute_canonical_schedule(const request& req,
   r.ops = design.op_count();
   sched::backend_options options;
   options.meta = req.meta;
+  options.iter_budget = req.iter_budget;
   sched::backend_outcome outcome = sched::get_backend(req.backend)
                                        .run({design, library, req.resources, options}, ctx);
   r.feasible = outcome.feasible;
@@ -100,7 +101,8 @@ source_info hash_request_source(const request& req) {
 ir::dfg_digest schedule_key_for(const request& req, const ir::dfg_digest& digest) {
   return ir::schedule_key(
       digest, req.resources,
-      sched::backend_option_salt(sched::get_backend(req.backend), req.meta));
+      sched::backend_option_salt(sched::get_backend(req.backend), req.meta,
+                                 req.iter_budget));
 }
 
 bool response::same_payload(const response& other) const {

@@ -110,6 +110,9 @@ request parse_request(const json_value& object) {
         bad_field(key, "unknown scheduler backend '" + value.as_string() +
                            "' (expected " + sched::backend_names_joined() + ")");
       req.backend = value.as_string();
+    } else if (key == "iter_budget") {
+      req.iter_budget =
+          integer_field(value, key, 0, sched::sdc_iter_max_budget);
     } else {
       throw json_error("unknown request field '" + key + "'");
     }
@@ -124,6 +127,13 @@ request parse_request(const json_value& object) {
     if (saw_edge_prob)
       bad_field("edge_prob", "only valid with a 'random' design source");
   }
+  // Same non-silence rule for the iteration budget: a client sweeping
+  // iter_budget against a one-shot backend would get N identical schedules
+  // back - surface the mismatch instead.
+  if (req.iter_budget >= 0 &&
+      !sched::get_backend(req.backend).caps().iterative)
+    bad_field("iter_budget", "only valid with an iterative backend (backend '" +
+                                 req.backend + "' ignores it)");
   return req;
 }
 

@@ -35,6 +35,10 @@ struct request {
   /// Scheduler backend (registry name); validated at parse time, mixed
   /// into the schedule cache key so backends never share cache entries.
   std::string backend = "soft";
+  /// Iteration budget for iterative backends (sdc-iter); -1 = backend
+  /// default. Only valid when the named backend is iterative, and mixed
+  /// into the cache key so budget sweeps never coalesce.
+  long long iter_budget = -1;
 
   /// Canonical description of the *design source* (not the allocation):
   /// two requests with equal source signatures build byte-identical DFGs.

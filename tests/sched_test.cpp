@@ -67,9 +67,10 @@ ss::backend_outcome run_once(const ss::scheduler_backend& backend, const si::dfg
 // -- registry ---------------------------------------------------------------
 
 TEST(SchedRegistry, NamesLookupAndStableIndices) {
-  EXPECT_EQ(ss::backend_names(), (std::vector<std::string>{"soft", "list", "fds"}));
-  ASSERT_EQ(ss::registered_backends().size(), 3u);
-  for (const char* name : {"soft", "list", "fds"}) {
+  EXPECT_EQ(ss::backend_names(),
+            (std::vector<std::string>{"soft", "list", "fds", "sdc-iter"}));
+  ASSERT_EQ(ss::registered_backends().size(), 4u);
+  for (const char* name : {"soft", "list", "fds", "sdc-iter"}) {
     const ss::scheduler_backend* b = ss::find_backend(name);
     ASSERT_NE(b, nullptr) << name;
     EXPECT_EQ(b->name(), name);
@@ -79,6 +80,7 @@ TEST(SchedRegistry, NamesLookupAndStableIndices) {
   EXPECT_EQ(ss::backend_index("soft"), 0);
   EXPECT_EQ(ss::backend_index("list"), 1);
   EXPECT_EQ(ss::backend_index("fds"), 2);
+  EXPECT_EQ(ss::backend_index("sdc-iter"), 3);
   EXPECT_EQ(ss::backend_index("threaded"), -1);
   EXPECT_EQ(ss::find_backend("threaded"), nullptr);
 }
@@ -90,7 +92,7 @@ TEST(SchedRegistry, UnknownNameThrowsListingBackends) {
   } catch (const precondition_error& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("simulated-annealing"), std::string::npos);
-    EXPECT_NE(what.find("soft|list|fds"), std::string::npos);
+    EXPECT_NE(what.find("soft|list|fds|sdc-iter"), std::string::npos);
   }
 }
 
@@ -109,6 +111,18 @@ TEST(SchedRegistry, CapabilityFlags) {
   const ss::backend_caps fds = ss::get_backend("fds").caps();
   EXPECT_FALSE(fds.binds_units);
   EXPECT_TRUE(fds.time_constrained);
+  EXPECT_FALSE(fds.iterative);
+
+  // sdc-iter is the first backend to set `iterative`; it consumes the meta
+  // order (its base run is the soft kernel) and tightens latency targets.
+  const ss::backend_caps iter = ss::get_backend("sdc-iter").caps();
+  EXPECT_TRUE(iter.binds_units);
+  EXPECT_TRUE(iter.uses_meta);
+  EXPECT_TRUE(iter.time_constrained);
+  EXPECT_TRUE(iter.iterative);
+  EXPECT_FALSE(iter.refinable);
+  for (const ss::scheduler_backend* b : ss::registered_backends())
+    EXPECT_EQ(b->caps().iterative, b->name() == "sdc-iter") << b->name();
 }
 
 // -- parity: legality on the named benchmarks -------------------------------
@@ -244,7 +258,9 @@ TEST(SchedContext, OneContextReusedAcrossRunsMatchesFreshContexts) {
       }
     }
   }
-  EXPECT_EQ(shared.runs(), expected_runs);
+  // At least one begin_run per backend run; iterative backends begin one
+  // more per internal re-scheduling iteration, so >= rather than ==.
+  EXPECT_GE(shared.runs(), expected_runs);
 }
 
 TEST(SchedContext, ArenaOffMatchesArenaOn) {
@@ -308,7 +324,8 @@ TEST(SchedSalt, MetaEntersOnlyForMetaConsumingBackends) {
     EXPECT_EQ(per_backend.size(), backend->caps().uses_meta ? 4u : 1u)
         << backend->name();
   }
-  EXPECT_EQ(distinct.size(), 6u); // 4 soft + 1 list + 1 fds, no collisions
+  // 4 soft + 1 list + 1 fds + 4 sdc-iter, no collisions.
+  EXPECT_EQ(distinct.size(), 10u);
   // The soft salts are the pre-registry meta salts (meta + 1): cache keys
   // for soft requests survived the refactor unchanged.
   EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
@@ -317,6 +334,198 @@ TEST(SchedSalt, MetaEntersOnlyForMetaConsumingBackends) {
   EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
                                     sm::meta_kind::list_priority),
             4u);
+}
+
+TEST(SchedSalt, LegacyKeyValuesSurviveTheBudgetWidening) {
+  // The PR 5 key values are pinned bit-for-bit: a warm cache (RAM or disk)
+  // built before the salt gained budget bits must keep hitting.
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::depth_first),
+            1u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::topological),
+            2u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::path_based),
+            3u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("soft"),
+                                    sm::meta_kind::list_priority),
+            4u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("list"),
+                                    sm::meta_kind::list_priority),
+            257u);
+  EXPECT_EQ(ss::backend_option_salt(ss::get_backend("fds"),
+                                    sm::meta_kind::list_priority),
+            513u);
+  // And the budget cannot leak into a non-iterative backend's salt.
+  for (const char* name : {"soft", "list", "fds"}) {
+    const ss::scheduler_backend& b = ss::get_backend(name);
+    EXPECT_EQ(ss::backend_option_salt(b, sm::meta_kind::list_priority, 0),
+              ss::backend_option_salt(b, sm::meta_kind::list_priority, 7))
+        << name;
+  }
+}
+
+TEST(SchedSalt, BudgetVariantsGetDistinctSaltsForIterativeBackends) {
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  std::set<std::uint64_t> salts;
+  for (const long long budget : {0LL, 1LL, 2LL, 8LL, 1024LL})
+    salts.insert(ss::backend_option_salt(iter, sm::meta_kind::list_priority, budget));
+  EXPECT_EQ(salts.size(), 5u); // every budget its own cache key
+  // -1 resolves to the default budget before salting: the default and its
+  // explicit spelling share one entry instead of scheduling twice.
+  EXPECT_EQ(ss::backend_option_salt(iter, sm::meta_kind::list_priority, -1),
+            ss::backend_option_salt(iter, sm::meta_kind::list_priority,
+                                    ss::sdc_iter_default_budget));
+  // Meta still enters underneath the budget bits.
+  EXPECT_NE(ss::backend_option_salt(iter, sm::meta_kind::depth_first, 4),
+            ss::backend_option_salt(iter, sm::meta_kind::list_priority, 4));
+}
+
+// -- sdc-iter: the feedback-guided iterative backend -------------------------
+
+TEST(SchedIter, BudgetZeroEqualsSoftByteForByte) {
+  // The base run is the shared soft kernel itself, so budget 0 is not
+  // "close to" soft - it is soft, down to the kernel counters.
+  const si::resource_library lib;
+  const ss::scheduler_backend& soft = ss::get_backend("soft");
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  ss::backend_options zero;
+  zero.iter_budget = 0;
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      for (const sm::meta_kind meta : sm::figure3_meta_kinds) {
+        ss::backend_options soft_opt;
+        soft_opt.meta = meta;
+        ss::backend_options iter_opt = zero;
+        iter_opt.meta = meta;
+        const ss::backend_outcome a = run_once(soft, d, lib, rs, soft_opt);
+        const ss::backend_outcome b = run_once(iter, d, lib, rs, iter_opt);
+        EXPECT_TRUE(a.same_outcome(b))
+            << name << " " << rs.label() << " meta " << static_cast<int>(meta);
+      }
+    }
+  }
+}
+
+TEST(SchedIter, QoRIsMonotoneNonWorseningInTheBudget) {
+  // The incumbent-best loop makes per-iteration QoR monotone: a larger
+  // budget can only extend the search, never lose the incumbent. Budget 0
+  // anchors the sweep at the soft latency.
+  const si::resource_library lib;
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      long long previous = -1;
+      for (long long budget = 0; budget <= 8; ++budget) {
+        ss::backend_options opt;
+        opt.iter_budget = budget;
+        const ss::backend_outcome r = run_once(iter, d, lib, rs, opt);
+        ASSERT_TRUE(r.feasible) << name << " " << rs.label();
+        EXPECT_LE(r.iterations, budget);
+        if (previous >= 0)
+          EXPECT_LE(r.latency, previous)
+              << name << " " << rs.label() << " budget " << budget;
+        previous = r.latency;
+      }
+    }
+  }
+}
+
+TEST(SchedIter, ReachesAFixedPointWellWithinALargeBudget) {
+  // The loop stops when a full variant cycle cannot improve the incumbent -
+  // reported iterations must sit far under an absurd budget, and pushing
+  // the budget further must not change the outcome (it is a fixed point,
+  // not a timeout).
+  const si::resource_library lib;
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (const int constraint : {0, 1}) {
+      const si::resource_set rs = si::figure3_constraint(constraint);
+      ss::backend_options big;
+      big.iter_budget = ss::sdc_iter_max_budget;
+      const ss::backend_outcome at_max = run_once(iter, d, lib, rs, big);
+      ASSERT_TRUE(at_max.feasible) << name;
+      EXPECT_LT(at_max.iterations, 64) << name << " " << rs.label();
+      ss::backend_options half;
+      half.iter_budget = ss::sdc_iter_max_budget / 2;
+      const ss::backend_outcome at_half = run_once(iter, d, lib, rs, half);
+      EXPECT_TRUE(at_max.same_outcome(at_half)) << name << " " << rs.label();
+    }
+  }
+}
+
+TEST(SchedIter, InfeasibleProblemsFoldBackAsOutcomesNeverThrows) {
+  // Zero-unit allocations and starved classes are outcomes, exactly like
+  // every other backend - the internal sub-scheduling must never leak an
+  // infeasible_error out of run().
+  const si::resource_library lib;
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  const si::dfg d = si::make_benchmark("ewf", lib);
+  for (const int alus : {0, 1}) {
+    for (const int muls : {0, 1}) {
+      const si::resource_set rs{alus, muls, 1};
+      ss::backend_outcome r;
+      EXPECT_NO_THROW(r = run_once(iter, d, lib, rs)) << rs.label();
+      if (alus == 0 || muls == 0) {
+        EXPECT_FALSE(r.feasible) << rs.label();
+        EXPECT_FALSE(r.infeasible_reason.empty());
+        EXPECT_EQ(r.iterations, 0);
+      } else {
+        EXPECT_TRUE(r.feasible) << rs.label();
+      }
+    }
+  }
+}
+
+TEST(SchedIter, StrictlyBeatsSoftOnThePinnedCase) {
+  // The acceptance pin: HAL under 2 ALUs / 1 multiplier. Soft lands at 14
+  // states, the default-budget feedback loop unpacks it to 13 (the list
+  // scheduler's latency) - the first case where iteration pays.
+  const si::resource_library lib;
+  const si::dfg d = si::make_benchmark("hal", lib);
+  const si::resource_set rs{2, 1, 1};
+  const ss::backend_outcome soft = run_once(ss::get_backend("soft"), d, lib, rs);
+  const ss::backend_outcome iter = run_once(ss::get_backend("sdc-iter"), d, lib, rs);
+  ASSERT_TRUE(soft.feasible);
+  ASSERT_TRUE(iter.feasible);
+  EXPECT_EQ(soft.latency, 14);
+  EXPECT_EQ(iter.latency, 13);
+  EXPECT_GE(iter.iterations, 1);
+  // And the improved schedule is still legal under the shared checker.
+  const auto violations =
+      sh::validate_schedule(d, ss::to_hard_schedule(iter), &rs);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(SchedIter, NeverWorseThanSoftAcrossTheNamedGrid) {
+  // The acceptance sweep: every named benchmark x allocation grid point,
+  // default budget - sdc-iter's latency is bounded by soft's everywhere
+  // (the incumbent argument), checked exhaustively rather than trusted.
+  const si::resource_library lib;
+  const ss::scheduler_backend& soft = ss::get_backend("soft");
+  const ss::scheduler_backend& iter = ss::get_backend("sdc-iter");
+  for (const char* name : named_benchmarks) {
+    const si::dfg d = si::make_benchmark(name, lib);
+    for (int alus = 1; alus <= 3; ++alus) {
+      for (int muls = 1; muls <= 3; ++muls) {
+        const si::resource_set rs{alus, muls, 1};
+        const ss::backend_outcome s = run_once(soft, d, lib, rs);
+        const ss::backend_outcome it = run_once(iter, d, lib, rs);
+        ASSERT_EQ(s.feasible, it.feasible) << name << " " << rs.label();
+        if (!s.feasible) continue;
+        EXPECT_LE(it.latency, s.latency) << name << " " << rs.label();
+        const auto violations =
+            sh::validate_schedule(d, ss::to_hard_schedule(it), &rs);
+        EXPECT_TRUE(violations.empty()) << name << " " << rs.label();
+      }
+    }
+  }
 }
 
 // -- serve ------------------------------------------------------------------
@@ -361,6 +570,57 @@ TEST(SchedServe, IdenticalDesignsUnderDifferentBackendsGetDistinctKeys) {
   EXPECT_EQ(rs[2].result.stats.commits, 0u);
 }
 
+TEST(SchedServe, BudgetSweepsAndMixedBatchesNeverCoalesceInTheCache) {
+  // The widened-salt regression: a budget sweep against sdc-iter gets one
+  // cache entry per budget, -1/default/explicit-8 share exactly one, and a
+  // mixed-backend batch over one design keeps every backend distinct.
+  sv::engine eng;
+  const std::vector<sv::response> rs = collect(
+      eng, "{\"bench\":\"hal\",\"backend\":\"sdc-iter\",\"iter_budget\":0}\n"
+           "{\"bench\":\"hal\",\"backend\":\"sdc-iter\",\"iter_budget\":1}\n"
+           "{\"bench\":\"hal\",\"backend\":\"sdc-iter\",\"iter_budget\":4}\n"
+           "{\"bench\":\"hal\",\"backend\":\"sdc-iter\"}\n"
+           "{\"bench\":\"hal\",\"backend\":\"sdc-iter\",\"iter_budget\":8}\n"
+           "{\"bench\":\"hal\",\"backend\":\"soft\"}\n"
+           "{\"bench\":\"hal\",\"backend\":\"list\"}\n"
+           "{\"bench\":\"hal\",\"backend\":\"fds\"}\n");
+  ASSERT_EQ(rs.size(), 8u);
+  for (const sv::response& r : rs) ASSERT_TRUE(r.error.empty()) << r.error;
+  // Budgets 0, 1, 4, default: four distinct keys.
+  const std::set<si::dfg_digest> budget_keys{rs[0].key, rs[1].key, rs[2].key,
+                                             rs[3].key};
+  EXPECT_EQ(budget_keys.size(), 4u);
+  // Default (-1) and explicit 8 coalesce onto one entry.
+  EXPECT_EQ(rs[3].key, rs[4].key);
+  // Mixed backends on the same design never share an entry, including the
+  // new one: 4 backends, 4 keys (sdc-iter keyed at its default budget).
+  const std::set<si::dfg_digest> backend_keys{rs[3].key, rs[5].key, rs[6].key,
+                                              rs[7].key};
+  EXPECT_EQ(backend_keys.size(), 4u);
+  // Budget 0 really served the soft schedule, at its own key.
+  EXPECT_EQ(rs[0].result.latency, rs[5].result.latency);
+  EXPECT_NE(rs[0].key, rs[5].key);
+}
+
+TEST(SchedServe, IterBudgetOnAOneShotBackendIsAFieldLevelParseError) {
+  sv::engine eng;
+  const std::vector<sv::response> rs = collect(
+      eng, "{\"bench\":\"ewf\",\"backend\":\"list\",\"iter_budget\":4}\n"
+           "{\"bench\":\"ewf\",\"iter_budget\":4}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"sdc-iter\",\"iter_budget\":2000}\n"
+           "{\"bench\":\"ewf\",\"backend\":\"sdc-iter\",\"iter_budget\":-1}\n");
+  ASSERT_EQ(rs.size(), 4u);
+  // A budget against a one-shot backend (explicit or defaulted soft) is a
+  // request error, not a silently identical schedule.
+  EXPECT_NE(rs[0].error.find("iter_budget"), std::string::npos);
+  EXPECT_NE(rs[0].error.find("iterative"), std::string::npos);
+  EXPECT_NE(rs[1].error.find("iter_budget"), std::string::npos);
+  // Out-of-range budgets are range errors; -1 is not accepted on the wire
+  // (omit the field for the default).
+  EXPECT_NE(rs[2].error.find("iter_budget"), std::string::npos);
+  EXPECT_NE(rs[3].error.find("iter_budget"), std::string::npos);
+}
+
 TEST(SchedServe, UnknownBackendIsAFieldLevelParseError) {
   sv::engine eng;
   const std::vector<sv::response> rs =
@@ -368,7 +628,7 @@ TEST(SchedServe, UnknownBackendIsAFieldLevelParseError) {
   ASSERT_EQ(rs.size(), 1u);
   EXPECT_NE(rs[0].error.find("backend"), std::string::npos);
   EXPECT_NE(rs[0].error.find("threaded"), std::string::npos);
-  EXPECT_NE(rs[0].error.find("soft|list|fds"), std::string::npos);
+  EXPECT_NE(rs[0].error.find("soft|list|fds|sdc-iter"), std::string::npos);
 }
 
 TEST(SchedServe, MixedBackendStreamDeterministicAcrossJobsAndCacheSizes) {
@@ -378,7 +638,7 @@ TEST(SchedServe, MixedBackendStreamDeterministicAcrossJobsAndCacheSizes) {
   // includes an error line.
   std::string text;
   for (int i = 0; i < 3; ++i)
-    for (const char* backend : {"soft", "list", "fds"})
+    for (const char* backend : {"soft", "list", "fds", "sdc-iter"})
       text += "{\"id\":\"q" + std::to_string(i) + std::string(backend) +
               "\",\"bench\":\"hal\",\"backend\":\"" + backend +
               "\",\"alus\":" + std::to_string(2 + i) + ",\"muls\":2}\n";
@@ -389,7 +649,7 @@ TEST(SchedServe, MixedBackendStreamDeterministicAcrossJobsAndCacheSizes) {
   ref_opt.jobs = 1;
   sv::engine reference(ref_opt);
   const std::vector<sv::response> ref = collect(reference, text);
-  ASSERT_EQ(ref.size(), 11u);
+  ASSERT_EQ(ref.size(), 14u);
 
   for (const int jobs : {1, 4}) {
     for (const std::size_t cache_bytes : {std::size_t{0}, std::size_t{64} << 20}) {

@@ -70,6 +70,7 @@ struct options {
   std::string meta = "list";
   std::uint64_t seed = 1;
   long long latency = -1; // fds target; -1 = critical path + 2
+  long long iter_budget = -1; // sdc-iter refinement budget; -1 = backend default
   int alus = 2;
   int muls = 2;
   int mems = 1;
@@ -84,6 +85,7 @@ struct options {
   bool explore = false;
   int jobs = 0; // 0 = all hardware threads
   std::string alus_range, muls_range, mems_range, mul_lat_range; // "lo:hi" or "n"
+  std::string iter_budget_range; // sdc-iter budget axis, "lo:hi" or "n"
   std::string explore_out;
   // batch scheduling service mode
   std::string serve_batch; // JSONL request file; "-" = stdin
@@ -104,12 +106,14 @@ struct options {
       << "  --dfg <file>                                    DFG text format\n"
       << "  --beh <file>                                    behavioral source\n"
       << "scheduling:\n"
-      << "  --backend <soft|list|fds|all>                   scheduler backend (soft)\n"
+      << "  --backend <soft|list|fds|sdc-iter|all>          scheduler backend (soft)\n"
       << "  --compare                                       all backends, one table\n"
       << "  --scheduler <threaded|list|fds>                 legacy alias of --backend\n"
       << "  --meta <dfs|topo|path|list|random>              soft-backend feed order\n"
       << "  --seed <n>                                      random meta seed\n"
       << "  --latency <n>                                   FDS latency budget\n"
+      << "  --iter-budget <n>                               sdc-iter refinement budget\n"
+      << "                                                  (0 = base run only; default 8)\n"
       << "  --alus/--muls/--mems <n>                        resources (2/2/1)\n"
       << "  --arena <on|off|BYTES>                          per-run arena allocator (on);\n"
       << "                                                  off = heap baseline, BYTES = block size\n"
@@ -122,6 +126,7 @@ struct options {
       << "  --jobs <n>                                      workers (0 = hardware)\n"
       << "  --alus-range/--muls-range/--mems-range <lo:hi>  grid axes (1:4/1:3/1:1)\n"
       << "  --mul-lat-range <lo:hi>                         mul latency axis (2:2)\n"
+      << "  --iter-budget-range <lo:hi>                     sdc-iter budget axis (off)\n"
       << "  --explore-out <file>                            JSON report\n"
       << "batch scheduling service (JSONL in -> JSONL out; schema in README):\n"
       << "  --serve-batch <file|->                          request file (- = stdin)\n"
@@ -165,6 +170,15 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--meta") opt.meta = need(i);
     else if (arg == "--seed") opt.seed = std::strtoull(need(i).c_str(), nullptr, 10);
     else if (arg == "--latency") opt.latency = std::strtoll(need(i).c_str(), nullptr, 10);
+    else if (arg == "--iter-budget") {
+      const std::string value = need(i);
+      if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos)
+        usage(argv[0], "--iter-budget must be a non-negative integer, got '" + value + "'");
+      opt.iter_budget = std::strtoll(value.c_str(), nullptr, 10);
+      if (opt.iter_budget > ss::sdc_iter_max_budget)
+        usage(argv[0], "--iter-budget must be at most " +
+                           std::to_string(ss::sdc_iter_max_budget));
+    }
     else if (arg == "--alus") { opt.alus = std::atoi(need(i).c_str()); opt.alus_set = true; }
     else if (arg == "--muls") { opt.muls = std::atoi(need(i).c_str()); opt.muls_set = true; }
     else if (arg == "--mems") { opt.mems = std::atoi(need(i).c_str()); opt.mems_set = true; }
@@ -176,6 +190,7 @@ options parse_args(int argc, char** argv) {
     else if (arg == "--muls-range") opt.muls_range = need(i);
     else if (arg == "--mems-range") opt.mems_range = need(i);
     else if (arg == "--mul-lat-range") opt.mul_lat_range = need(i);
+    else if (arg == "--iter-budget-range") opt.iter_budget_range = need(i);
     else if (arg == "--explore-out") opt.explore_out = need(i);
     else if (arg == "--serve-batch") opt.serve_batch = need(i);
     else if (arg == "--serve") {
@@ -279,6 +294,7 @@ struct scheduling_config {
   bool random_meta = false; ///< --meta random (interactive soft path only)
   std::uint64_t seed = 1;
   long long fds_latency = -1;
+  long long iter_budget = -1; ///< sdc-iter budget; -1 = backend default
   sv::arena_flag arena; ///< --arena, parsed by the serve-shared grammar
 
   [[nodiscard]] const std::string& primary_backend() const { return backends.front(); }
@@ -301,6 +317,7 @@ struct scheduling_config {
       bopt.meta = meta;
     }
     bopt.fds_latency = fds_latency;
+    if (b.caps().iterative) bopt.iter_budget = iter_budget;
     return bopt;
   }
 };
@@ -318,6 +335,7 @@ scheduling_config scheduling_from_options(const options& opt) {
   if (!cfg.random_meta) cfg.meta = kind;
   cfg.seed = opt.seed;
   cfg.fds_latency = opt.latency;
+  cfg.iter_budget = opt.iter_budget;
   cfg.arena = sv::parse_arena_flag(opt.serve_flags.arena);
   return cfg;
 }
@@ -333,7 +351,8 @@ int run_compare(const scheduling_config& cfg, const si::resource_library& lib,
   std::cout << "backend comparison: " << design.name() << ", " << design.op_count()
             << " ops, resources " << resources.label() << "\n";
   softsched::table t;
-  t.set_header({"backend", "feasible", "latency", "vs soft", "bound units", "legal"});
+  t.set_header({"backend", "feasible", "latency", "vs soft", "iters", "bound units",
+                "legal"});
   long long soft_latency = -1;
   bool all_legal = true;
   // One context for the whole table: the repeat run below recycles the
@@ -366,7 +385,9 @@ int run_compare(const scheduling_config& cfg, const si::resource_library& lib,
     t.add_row({std::string(backend->name()),
                outcome.feasible ? "yes" : "no: " + outcome.infeasible_reason,
                outcome.feasible ? softsched::cell(outcome.latency) + " states" : "-",
-               vs_soft, softsched::cell(bound), legal});
+               vs_soft,
+               backend->caps().iterative ? softsched::cell(outcome.iterations) : "-",
+               softsched::cell(bound), legal});
   }
   t.print(std::cout);
   return all_legal ? 0 : 1;
@@ -421,12 +442,17 @@ int run_explore(const options& opt, const scheduling_config& cfg) {
   spec.muls = parse_axis(opt.muls_range, spec.muls);
   spec.mems = parse_axis(opt.mems_range, spec.mems);
   spec.mul_latency = parse_axis(opt.mul_lat_range, spec.mul_latency);
+  spec.iter_budget = parse_axis(opt.iter_budget_range, spec.iter_budget);
+  SOFTSCHED_EXPECT(spec.iter_budget.hi <= ss::sdc_iter_max_budget,
+                   "--iter-budget-range must stay at or under " +
+                       std::to_string(ss::sdc_iter_max_budget));
 
   se::exploration_options eopt;
   eopt.jobs = opt.jobs;
   SOFTSCHED_EXPECT(!cfg.random_meta, "--explore needs a deterministic --meta");
   eopt.meta = cfg.meta;
   eopt.backends = cfg.backends;
+  eopt.iter_budget = cfg.iter_budget;
   eopt.arena = cfg.arena.enabled;
   eopt.arena_block_bytes = cfg.arena.block_bytes;
 
